@@ -1,0 +1,397 @@
+//! Chain-rule walker: adjoint statements for a single assignment.
+//!
+//! Implements the per-instruction reverse-mode rule of paper §4.1,
+//!
+//! ```text
+//! z = x Op y      ⇒      x̄ += z̄ · ∂Op/∂x
+//!                        ȳ += z̄ · ∂Op/∂y
+//!                        z̄  = 0
+//! ```
+//!
+//! generalized to arbitrary expression trees: the walker descends through
+//! the right-hand side carrying the symbolic *seed* (the adjoint value
+//! flowing into the subtree) and emits one increment statement per active
+//! leaf reference. Non-smooth intrinsics (`abs`/`min`/`max`) emit guarded
+//! `if` statements selecting the active branch. Occurrences of the
+//! assignment's own left-hand side are collected separately so the caller
+//! can implement the `z̄ = Σ self-seeds` (or `z̄ = 0`, or — for exact
+//! increments — no statement at all, paper §5.4) rule.
+
+use formad_ir::{BinOp, BoolExpr, CmpOp, Expr, Intrinsic, LValue, Stmt, UnOp};
+
+/// Result of differentiating one right-hand side.
+#[derive(Debug, Default)]
+pub struct ExprAdjoint {
+    /// Increment statements `r̄ += seed` for every active non-self read.
+    pub increments: Vec<Stmt>,
+    /// Seeds flowing into occurrences of the lhs itself (`z̄·∂e/∂z` terms).
+    pub self_seeds: Vec<Expr>,
+}
+
+/// Environment for the walker.
+pub struct AdjCtx<'a> {
+    /// Is this variable/array active (has an adjoint)?
+    pub is_active: Box<dyn Fn(&str) -> bool + 'a>,
+    /// Adjoint name of a primal variable (`u` → `ub`).
+    pub adjoint_name: Box<dyn Fn(&str) -> String + 'a>,
+}
+
+/// Differentiate `lhs = rhs`, producing adjoint increments with the given
+/// seed (normally the adjoint of `lhs`).
+pub fn adjoint_of_assign(lhs: &LValue, rhs: &Expr, seed: &Expr, ctx: &AdjCtx<'_>) -> ExprAdjoint {
+    let mut out = ExprAdjoint::default();
+    let lhs_expr = lhs.as_expr();
+    walk(rhs, seed.clone(), &lhs_expr, ctx, &mut out.increments, &mut out.self_seeds);
+    out
+}
+
+fn is_self(e: &Expr, lhs: &Expr) -> bool {
+    e == lhs
+}
+
+fn walk(
+    e: &Expr,
+    seed: Expr,
+    lhs: &Expr,
+    ctx: &AdjCtx<'_>,
+    out: &mut Vec<Stmt>,
+    self_seeds: &mut Vec<Expr>,
+) {
+    if is_self(e, lhs) {
+        self_seeds.push(seed);
+        return;
+    }
+    match e {
+        Expr::IntLit(_) | Expr::RealLit(_) => {}
+        Expr::Var(name) => {
+            if (ctx.is_active)(name) {
+                let b = (ctx.adjoint_name)(name);
+                out.push(Stmt::increment(LValue::var(b), seed));
+            }
+        }
+        Expr::Index { array, indices } => {
+            if (ctx.is_active)(array) {
+                let b = (ctx.adjoint_name)(array);
+                out.push(Stmt::increment(LValue::index(b, indices.clone()), seed));
+            }
+        }
+        Expr::Unary { op: UnOp::Neg, arg } => {
+            walk(arg, seed.neg(), lhs, ctx, out, self_seeds);
+        }
+        Expr::Binary { op, lhs: a, rhs: b } => match op {
+            BinOp::Add => {
+                walk(a, seed.clone(), lhs, ctx, out, self_seeds);
+                walk(b, seed, lhs, ctx, out, self_seeds);
+            }
+            BinOp::Sub => {
+                walk(a, seed.clone(), lhs, ctx, out, self_seeds);
+                walk(b, seed.neg(), lhs, ctx, out, self_seeds);
+            }
+            BinOp::Mul => {
+                walk(a, seed.clone() * (**b).clone(), lhs, ctx, out, self_seeds);
+                walk(b, seed * (**a).clone(), lhs, ctx, out, self_seeds);
+            }
+            BinOp::Div => {
+                // d(a/b) = da/b − a·db/b².
+                walk(a, seed.clone() / (**b).clone(), lhs, ctx, out, self_seeds);
+                let b_sq = (**b).clone() * (**b).clone();
+                walk(
+                    b,
+                    (seed * (**a).clone()).neg() / b_sq,
+                    lhs,
+                    ctx,
+                    out,
+                    self_seeds,
+                );
+            }
+            BinOp::Pow => {
+                // d(a**k) = k·a**(k−1)·da; exponent treated as constant
+                // w.r.t. the base (integer exponents in practice). If the
+                // exponent is itself active, d/dk = a**k·log(a)·dk.
+                let k = (**b).clone();
+                let da = seed.clone()
+                    * k.clone()
+                    * Expr::binary(
+                        BinOp::Pow,
+                        (**a).clone(),
+                        k.clone() - Expr::IntLit(1),
+                    );
+                walk(a, da, lhs, ctx, out, self_seeds);
+                if expr_may_be_active(b, ctx) {
+                    let dk = seed
+                        * Expr::binary(BinOp::Pow, (**a).clone(), k)
+                        * Expr::call(Intrinsic::Log, vec![(**a).clone()]);
+                    walk(b, dk, lhs, ctx, out, self_seeds);
+                }
+            }
+            BinOp::Mod => {
+                // Integer-only operation: no derivative flows.
+            }
+        },
+        Expr::Call { func, args } => match func {
+            Intrinsic::Sin => {
+                let d = seed * Expr::call(Intrinsic::Cos, vec![args[0].clone()]);
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Cos => {
+                let d = (seed * Expr::call(Intrinsic::Sin, vec![args[0].clone()])).neg();
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Exp => {
+                let d = seed * Expr::call(Intrinsic::Exp, vec![args[0].clone()]);
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Log => {
+                let d = seed / args[0].clone();
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Sqrt => {
+                let d = seed
+                    / (Expr::RealLit(2.0) * Expr::call(Intrinsic::Sqrt, vec![args[0].clone()]));
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Tanh => {
+                let t = Expr::call(Intrinsic::Tanh, vec![args[0].clone()]);
+                let d = seed * (Expr::RealLit(1.0) - t.clone() * t);
+                walk(&args[0], d, lhs, ctx, out, self_seeds);
+            }
+            Intrinsic::Abs => {
+                // Guarded subgradient: sign(x)·seed, with sign(0) = +1.
+                let mut then_out = Vec::new();
+                let mut else_out = Vec::new();
+                let mut then_selfs = Vec::new();
+                let mut else_selfs = Vec::new();
+                walk(&args[0], seed.clone(), lhs, ctx, &mut then_out, &mut then_selfs);
+                walk(&args[0], seed.neg(), lhs, ctx, &mut else_out, &mut else_selfs);
+                emit_guarded(
+                    BoolExpr::cmp(CmpOp::Ge, args[0].clone(), Expr::RealLit(0.0)),
+                    then_out,
+                    else_out,
+                    then_selfs,
+                    else_selfs,
+                    out,
+                    self_seeds,
+                );
+            }
+            Intrinsic::Min | Intrinsic::Max => {
+                let cmp = if *func == Intrinsic::Min {
+                    CmpOp::Le
+                } else {
+                    CmpOp::Ge
+                };
+                let mut then_out = Vec::new();
+                let mut else_out = Vec::new();
+                let mut then_selfs = Vec::new();
+                let mut else_selfs = Vec::new();
+                walk(&args[0], seed.clone(), lhs, ctx, &mut then_out, &mut then_selfs);
+                walk(&args[1], seed, lhs, ctx, &mut else_out, &mut else_selfs);
+                emit_guarded(
+                    BoolExpr::cmp(cmp, args[0].clone(), args[1].clone()),
+                    then_out,
+                    else_out,
+                    then_selfs,
+                    else_selfs,
+                    out,
+                    self_seeds,
+                );
+            }
+        },
+    }
+}
+
+/// Emit a guarded `if` for non-smooth branches. Self-seed collection cannot
+/// be made control-dependent with the caller's flat `z̄ = Σ seeds` rule, so
+/// rhs expressions where the lhs occurs *under* a non-smooth intrinsic are
+/// rejected (a pathological shape none of the paper's kernels use).
+fn emit_guarded(
+    guard: BoolExpr,
+    then_out: Vec<Stmt>,
+    else_out: Vec<Stmt>,
+    then_selfs: Vec<Expr>,
+    else_selfs: Vec<Expr>,
+    out: &mut Vec<Stmt>,
+    _self_seeds: &mut [Expr],
+) {
+    assert!(
+        then_selfs.is_empty() && else_selfs.is_empty(),
+        "assignment lhs under abs/min/max on its own rhs is not supported"
+    );
+    if then_out.is_empty() && else_out.is_empty() {
+        return;
+    }
+    out.push(Stmt::If {
+        cond: guard,
+        then_body: then_out,
+        else_body: else_out,
+    });
+}
+
+/// Could any leaf of `e` be active?
+fn expr_may_be_active(e: &Expr, ctx: &AdjCtx<'_>) -> bool {
+    let mut active = false;
+    e.walk(&mut |sub| match sub {
+        Expr::Var(n) => active |= (ctx.is_active)(n),
+        Expr::Index { array, .. } => active |= (ctx.is_active)(array),
+        _ => {}
+    });
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formad_ir::expr_to_string;
+
+    fn ctx_all_active() -> AdjCtx<'static> {
+        AdjCtx {
+            is_active: Box::new(|n: &str| !n.ends_with(char::from(98)) && n != "c"),
+            adjoint_name: Box::new(|n: &str| format!("{n}b")),
+        }
+    }
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    fn run(lhs: LValue, rhs: Expr) -> ExprAdjoint {
+        let seed = match &lhs {
+            LValue::Var(n) => Expr::var(format!("{n}b")),
+            LValue::Index { array, indices } => {
+                Expr::index(format!("{array}b"), indices.clone())
+            }
+        };
+        adjoint_of_assign(&lhs, &rhs, &seed, &ctx_all_active())
+    }
+
+    #[test]
+    fn paper_figure1_assignment_example() {
+        // u(i-1) = a*v(i,j) + 1.5
+        let lhs = LValue::index("u", vec![v("i") - Expr::int(1)]);
+        let rhs = v("a") * Expr::index("v", vec![v("i"), v("j")]) + Expr::real(1.5);
+        let adj = run(lhs, rhs);
+        // vb(i,j) += a*ub(i-1) ; ab += v(i,j)*ub(i-1)
+        assert_eq!(adj.increments.len(), 2);
+        let printed: Vec<String> = adj
+            .increments
+            .iter()
+            .map(|s| {
+                let mut t = String::new();
+                formad_ir::printer::write_body(&mut t, std::slice::from_ref(s), 0);
+                t.trim().to_string()
+            })
+            .collect();
+        assert_eq!(printed[0], "ab = ab + ub(i - 1) * v(i, j)");
+        assert_eq!(printed[1], "vb(i, j) = vb(i, j) + ub(i - 1) * a");
+        // Plain assignment: lhs does not occur on the rhs.
+        assert!(adj.self_seeds.is_empty());
+    }
+
+    #[test]
+    fn paper_figure1_increment_example() {
+        // u(2*i) = u(2*i) + 2*a
+        let lhs = LValue::index("u", vec![Expr::int(2) * v("i")]);
+        let rhs = lhs.as_expr() + Expr::int(2) * v("a");
+        let adj = run(lhs, rhs);
+        // ab += 2*ub(2*i); self seed is exactly ub(2*i) (coefficient 1).
+        assert_eq!(adj.increments.len(), 1);
+        assert_eq!(adj.self_seeds.len(), 1);
+        assert_eq!(
+            expr_to_string(&adj.self_seeds[0]),
+            "ub(2 * i)"
+        );
+    }
+
+    #[test]
+    fn product_rule() {
+        // z = x * y → xb += zb*y; yb += zb*x
+        let adj = run(LValue::var("z"), v("x") * v("y"));
+        assert_eq!(adj.increments.len(), 2);
+        let s0 = format!("{:?}", adj.increments[0]);
+        assert!(s0.contains('y'), "first increment seeds with y: {s0}");
+    }
+
+    #[test]
+    fn scaled_self_reference() {
+        // z = 2*z + x → self seed 2*zb (after commuting, zb*2).
+        let adj = run(LValue::var("z"), Expr::int(2) * v("z") + v("x"));
+        assert_eq!(adj.self_seeds.len(), 1);
+        assert_eq!(adj.increments.len(), 1);
+        assert_eq!(expr_to_string(&adj.self_seeds[0]), "zb * 2");
+    }
+
+    #[test]
+    fn division_rule() {
+        let adj = run(LValue::var("z"), v("x") / v("y"));
+        assert_eq!(adj.increments.len(), 2);
+        let all = format!("{:?}", adj.increments);
+        assert!(all.contains("Div"));
+    }
+
+    #[test]
+    fn sin_chain_rule() {
+        let adj = run(
+            LValue::var("z"),
+            Expr::call(Intrinsic::Sin, vec![v("x") * v("x")]),
+        );
+        // xb += zb*cos(x*x)*x twice (both occurrences of x).
+        assert_eq!(adj.increments.len(), 2);
+        let all = format!("{:?}", adj.increments);
+        assert!(all.contains("Cos"));
+    }
+
+    #[test]
+    fn min_emits_guard() {
+        let adj = run(
+            LValue::var("z"),
+            Expr::call(Intrinsic::Min, vec![v("x"), v("y")]),
+        );
+        assert_eq!(adj.increments.len(), 1);
+        match &adj.increments[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected guard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abs_emits_sign_guard() {
+        let adj = run(LValue::var("z"), Expr::call(Intrinsic::Abs, vec![v("x")]));
+        assert!(matches!(adj.increments[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn inactive_leaves_ignored() {
+        // c is inactive (index array) in the test context.
+        let adj = run(
+            LValue::var("z"),
+            v("c") * v("x") + Expr::index("c", vec![v("i")]),
+        );
+        // Only xb receives a contribution.
+        assert_eq!(adj.increments.len(), 1);
+        assert!(format!("{:?}", adj.increments[0]).contains("xb"));
+    }
+
+    #[test]
+    fn integer_pow_rule() {
+        let adj = run(
+            LValue::var("z"),
+            Expr::binary(BinOp::Pow, v("x"), Expr::int(3)),
+        );
+        assert_eq!(adj.increments.len(), 1);
+        let s = format!("{:?}", adj.increments[0]);
+        assert!(s.contains("Pow"), "{s}");
+    }
+
+    #[test]
+    fn constant_rhs_no_adjoints() {
+        let adj = run(LValue::var("z"), Expr::real(3.5) + Expr::int(2) * Expr::real(1.0));
+        assert!(adj.increments.is_empty());
+        assert!(adj.self_seeds.is_empty());
+    }
+}

@@ -1,0 +1,1038 @@
+//! Whole-program reverse-mode transformation (store-all / split mode).
+//!
+//! The adjoint of a subroutine is `forward sweep ; backward sweep`:
+//!
+//! - The **forward sweep** re-executes the primal, pushing the
+//!   to-be-overwritten value of every *recorded* location onto a
+//!   (thread-local) tape, and pushing branch decisions of `if`s that will
+//!   need reversal. Parallel loops stay parallel — each thread pushes to
+//!   its own tape.
+//! - The **backward sweep** processes statements in reverse. Each recorded
+//!   assignment first pops (restores) its left-hand side, re-establishing
+//!   the exact primal memory state in which the statement executed, then
+//!   emits the adjoint increments from the chain-rule walker. Loops run
+//!   with reversed iteration order; parallel loops stay parallel with the
+//!   *same static schedule*, so every thread pops exactly what it pushed
+//!   (this is the standard treatment from Hückelheim & Hascoët,
+//!   "Source-to-Source AD of OpenMP Parallel Loops", reference \[12\] of the
+//!   paper).
+//!
+//! Which locations are recorded is decided by a TBR-lite analysis: a
+//! location is recorded only if its primal *value* appears in some adjoint
+//! statement (a partial derivative, an adjoint index expression, or a loop
+//! bound). Arrays that are only ever updated by exact increments therefore
+//! need no tape at all — this is what makes the FormAD stencil adjoint as
+//! cheap as the primal (paper §7.1, §5.4).
+
+use std::collections::{HashMap, HashSet};
+
+use formad_analysis::Activity;
+use formad_ir::{
+    BinOp, BoolExpr, CmpOp, Decl, Expr, ForLoop, Intent, LValue, ParallelInfo, Program, RedOp,
+    Stmt, Ty,
+};
+
+use crate::adjoint_expr::{adjoint_of_assign, AdjCtx};
+use crate::options::{AdError, AdjointOptions, IncMode};
+
+/// Differentiate `p` in reverse mode.
+///
+/// The generated subroutine is named `{p.name}_b` and takes the primal
+/// parameters followed by one `intent(inout)` adjoint parameter for every
+/// *active* primal parameter. On entry the caller seeds the adjoints of the
+/// dependents; on exit the adjoints of the independents hold the gradient
+/// contributions (accumulated, per adjoint convention).
+pub fn differentiate(p: &Program, opts: &AdjointOptions) -> Result<Program, AdError> {
+    formad_ir::validate_strict(p).map_err(|e| AdError::new(format!("invalid primal: {e}")))?;
+    for s in &p.body {
+        let mut bad = false;
+        s.walk(&mut |st| {
+            if matches!(st, Stmt::Push(_) | Stmt::Pop(_)) {
+                bad = true;
+            }
+        });
+        if bad {
+            return Err(AdError::new("primal contains tape statements"));
+        }
+    }
+    for name in opts.independents.iter().chain(&opts.dependents) {
+        if p.decl(name).is_none() {
+            return Err(AdError::new(format!(
+                "independent/dependent `{name}` is not a parameter of `{}`",
+                p.name
+            )));
+        }
+    }
+
+    let act = Activity::analyze(p, &opts.independents, &opts.dependents);
+    let mut xf = Xform::new(p, act, opts)?;
+    xf.compute_needed_values();
+    xf.index_regions();
+
+    let fwd = xf.fwd_sweep(&p.body);
+    let bwd = xf.bwd_sweep(&p.body)?;
+
+    // Assemble the adjoint subroutine.
+    let mut adj = Program::new(format!("{}_b", p.name));
+    adj.params = p.params.clone();
+    for d in &p.params {
+        if xf.is_active(&d.name) {
+            let mut a = d.clone();
+            a.name = xf.adjoint_name(&d.name);
+            a.intent = Intent::InOut;
+            adj.params.push(a);
+        }
+    }
+    adj.locals = p.locals.clone();
+    for d in &p.locals {
+        if xf.is_active(&d.name) {
+            let mut a = d.clone();
+            a.name = xf.adjoint_name(&d.name);
+            adj.locals.push(a);
+        }
+    }
+    adj.locals.extend(xf.new_locals.clone());
+    adj.body = fwd;
+    adj.body.extend(bwd);
+    Ok(adj)
+}
+
+struct Xform<'a> {
+    prog: &'a Program,
+    act: Activity,
+    opts: &'a AdjointOptions,
+    /// Primal names whose values appear in adjoint statements or loop
+    /// bounds: these must be taped when overwritten.
+    needed: HashSet<String>,
+    /// Pre-order region index of each parallel loop (keyed by address).
+    region_of: HashMap<usize, usize>,
+    branch_counter: usize,
+    new_locals: Vec<Decl>,
+}
+
+impl<'a> Xform<'a> {
+    fn new(p: &'a Program, act: Activity, opts: &'a AdjointOptions) -> Result<Xform<'a>, AdError> {
+        // Adjoint-name collisions with existing declarations are errors.
+        for d in p.decls() {
+            if act.is_active(&d.name) && d.ty == Ty::Real {
+                let b = format!("{}{}", d.name, opts.adjoint_suffix);
+                if p.decl(&b).is_some() {
+                    return Err(AdError::new(format!(
+                        "adjoint name `{b}` collides with an existing declaration"
+                    )));
+                }
+            }
+        }
+        Ok(Xform {
+            prog: p,
+            act,
+            opts,
+            needed: HashSet::new(),
+            region_of: HashMap::new(),
+            branch_counter: 0,
+            new_locals: Vec::new(),
+        })
+    }
+
+    fn is_active(&self, name: &str) -> bool {
+        self.prog.ty_of(name) == Some(Ty::Real) && self.act.is_active(name)
+    }
+
+    fn adjoint_name(&self, name: &str) -> String {
+        format!("{}{}", name, self.opts.adjoint_suffix)
+    }
+
+    /// Map an adjoint name back to its primal name, if it is one.
+    fn primal_of_adjoint(&self, name: &str) -> Option<String> {
+        let stem = name.strip_suffix(&self.opts.adjoint_suffix)?;
+        if self.is_active(stem) {
+            Some(stem.to_string())
+        } else {
+            None
+        }
+    }
+
+    fn walker_ctx(&self) -> AdjCtx<'_> {
+        AdjCtx {
+            is_active: Box::new(move |n: &str| self.is_active(n)),
+            adjoint_name: Box::new(move |n: &str| self.adjoint_name(n)),
+        }
+    }
+
+    /// Adjoint statements of one assignment (shared by the dry run and the
+    /// real emission). Returns `(increments, vb-finalization)`.
+    fn assign_adjoint(&self, lhs: &LValue, rhs: &Expr) -> (Vec<Stmt>, Option<Stmt>) {
+        let seed = match lhs {
+            LValue::Var(n) => Expr::var(self.adjoint_name(n)),
+            LValue::Index { array, indices } => {
+                Expr::index(self.adjoint_name(array), indices.clone())
+            }
+        };
+        let ctx = self.walker_ctx();
+        let adj = adjoint_of_assign(lhs, rhs, &seed, &ctx);
+        let adjoint_lv = match lhs {
+            LValue::Var(n) => LValue::var(self.adjoint_name(n)),
+            LValue::Index { array, indices } => {
+                LValue::index(self.adjoint_name(array), indices.clone())
+            }
+        };
+        let finalize = if adj.self_seeds.is_empty() {
+            Some(Stmt::assign(adjoint_lv, Expr::real(0.0)))
+        } else if adj.self_seeds.len() == 1 && adj.self_seeds[0] == seed {
+            // Exact increment: the adjoint of the lhs is unchanged
+            // (paper §5.4) — no statement at all.
+            None
+        } else {
+            let mut sum = adj.self_seeds[0].clone();
+            for s in &adj.self_seeds[1..] {
+                sum = sum + s.clone();
+            }
+            Some(Stmt::assign(adjoint_lv, sum))
+        };
+        (adj.increments, finalize)
+    }
+
+    /// TBR-lite: collect every primal name whose value occurs in any
+    /// adjoint statement or loop bound expression.
+    fn compute_needed_values(&mut self) {
+        let mut needed: HashSet<String> = HashSet::new();
+        let mut scan_expr = |e: &Expr, needed: &mut HashSet<String>| {
+            e.walk(&mut |sub| match sub {
+                Expr::Var(n)
+                    if self.prog.decl(n).is_some() => {
+                        needed.insert(n.clone());
+                    }
+                Expr::Index { array, indices: _ }
+                    if self.prog.decl(array).is_some() => {
+                        needed.insert(array.clone());
+                    }
+                _ => {}
+            });
+        };
+        fn scan_stmts(
+            stmts: &[Stmt],
+            scan_expr: &mut impl FnMut(&Expr, &mut HashSet<String>),
+            needed: &mut HashSet<String>,
+        ) {
+            for s in stmts {
+                s.walk_exprs(&mut |e| scan_expr(e, needed));
+            }
+        }
+
+        self.prog.walk_stmts(&mut |s| match s {
+            Stmt::Assign { lhs, rhs }
+                if self.is_active(lhs.name()) => {
+                    let (incs, fin) = self.assign_adjoint(lhs, rhs);
+                    scan_stmts(&incs, &mut scan_expr, &mut needed);
+                    if let Some(f) = fin {
+                        scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
+                    }
+                }
+            Stmt::AtomicAdd { lhs, rhs }
+                if self.is_active(lhs.name()) => {
+                    let full = lhs.as_expr() + rhs.clone();
+                    let (incs, fin) = self.assign_adjoint(lhs, &full);
+                    scan_stmts(&incs, &mut scan_expr, &mut needed);
+                    if let Some(f) = fin {
+                        scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
+                    }
+                }
+            Stmt::For(l) => {
+                // Reversed loops re-evaluate their bound expressions.
+                scan_expr(&l.lo, &mut needed);
+                scan_expr(&l.hi, &mut needed);
+                scan_expr(&l.step, &mut needed);
+            }
+            _ => {}
+        });
+
+        // Adjoint names are not primal declarations, so the decl check above
+        // already filtered them out.
+        self.needed = needed;
+    }
+
+    fn index_regions(&mut self) {
+        for (k, l) in self.prog.parallel_loops().into_iter().enumerate() {
+            self.region_of.insert(l as *const ForLoop as usize, k);
+        }
+    }
+
+    /// Is this assignment's old lhs value recorded on the tape?
+    fn taped(&self, lhs: &LValue) -> bool {
+        self.needed.contains(lhs.name())
+    }
+
+    /// Does this statement subtree require any backward-sweep work
+    /// (adjoint statements or restores)?
+    fn needs_reversal(&self, stmts: &[Stmt]) -> bool {
+        let mut yes = false;
+        for s in stmts {
+            s.walk(&mut |st| match st {
+                Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. }
+                    if (self.is_active(lhs.name()) || self.taped(lhs)) => {
+                        yes = true;
+                    }
+                _ => {}
+            });
+        }
+        yes
+    }
+
+    /// Scalars assigned inside a parallel-loop body whose values the
+    /// adjoint needs (gather indices, accumulators). Loop counters are
+    /// excluded: reversed loops re-establish them. Sorted for a
+    /// deterministic push/pop order.
+    fn iteration_scalars(&self, body: &[Stmt]) -> Vec<String> {
+        let mut assigned = Vec::new();
+        let mut counters = HashSet::new();
+        for s in body {
+            s.walk(&mut |st| match st {
+                Stmt::Assign { lhs: LValue::Var(v), .. }
+                | Stmt::AtomicAdd { lhs: LValue::Var(v), .. }
+                    if !assigned.contains(v) => {
+                        assigned.push(v.clone());
+                    }
+                Stmt::For(inner) => {
+                    counters.insert(inner.var.clone());
+                }
+                _ => {}
+            });
+        }
+        let mut out: Vec<String> = assigned
+            .into_iter()
+            .filter(|v| !counters.contains(v) && self.needed.contains(v))
+            .collect();
+        out.sort();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Forward sweep
+    // ------------------------------------------------------------------
+
+    fn fwd_sweep(&mut self, stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.fwd_stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn fwd_stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. } => {
+                if self.taped(lhs) {
+                    out.push(Stmt::Push(lhs.as_expr()));
+                }
+                out.push(s.clone());
+            }
+            Stmt::Push(_) | Stmt::Pop(_) => unreachable!("rejected in differentiate"),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if !self.needs_reversal(then_body) && !self.needs_reversal(else_body) {
+                    out.push(s.clone());
+                    return;
+                }
+                let mut then_f = self.fwd_sweep(then_body);
+                then_f.push(Stmt::Push(Expr::IntLit(1)));
+                let mut else_f = self.fwd_sweep(else_body);
+                else_f.push(Stmt::Push(Expr::IntLit(0)));
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_body: then_f,
+                    else_body: else_f,
+                });
+            }
+            Stmt::For(l) => {
+                let mut body = self.fwd_sweep(&l.body);
+                if l.parallel.is_some() && self.needs_reversal(&l.body) {
+                    // End-of-iteration snapshot: the backward parallel loop
+                    // reverses each thread's chunk independently, so unlike
+                    // a sequential reversal it cannot rely on later
+                    // iterations' pops to restore iteration-local scalars.
+                    // Push their post-iteration values here; the backward
+                    // body pops them first.
+                    for v in self.iteration_scalars(&l.body) {
+                        body.push(Stmt::Push(Expr::var(v)));
+                    }
+                }
+                let parallel = if self.opts.parallel.is_serial() {
+                    None
+                } else {
+                    l.parallel.clone()
+                };
+                out.push(Stmt::For(Box::new(ForLoop {
+                    var: l.var.clone(),
+                    lo: l.lo.clone(),
+                    hi: l.hi.clone(),
+                    step: l.step.clone(),
+                    body,
+                    parallel,
+                })));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backward sweep
+    // ------------------------------------------------------------------
+
+    fn bwd_sweep(&mut self, stmts: &[Stmt]) -> Result<Vec<Stmt>, AdError> {
+        let mut out = Vec::new();
+        for s in stmts.iter().rev() {
+            self.bwd_stmt(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn bwd_stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) -> Result<(), AdError> {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                if self.taped(lhs) {
+                    out.push(Stmt::Pop(lhs.clone()));
+                }
+                if self.is_active(lhs.name()) {
+                    let (incs, fin) = self.assign_adjoint(lhs, rhs);
+                    out.extend(incs);
+                    out.extend(fin);
+                }
+                Ok(())
+            }
+            Stmt::AtomicAdd { lhs, rhs } => {
+                if self.taped(lhs) {
+                    out.push(Stmt::Pop(lhs.clone()));
+                }
+                if self.is_active(lhs.name()) {
+                    let full = lhs.as_expr() + rhs.clone();
+                    let (incs, fin) = self.assign_adjoint(lhs, &full);
+                    out.extend(incs);
+                    out.extend(fin);
+                }
+                Ok(())
+            }
+            Stmt::Push(_) | Stmt::Pop(_) => unreachable!("rejected in differentiate"),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if !self.needs_reversal(then_body) && !self.needs_reversal(else_body) {
+                    return Ok(());
+                }
+                let bv = format!("ad_branch{}", self.branch_counter);
+                self.branch_counter += 1;
+                self.new_locals.push(Decl::local(bv.clone(), Ty::Int));
+                out.push(Stmt::Pop(LValue::var(bv.clone())));
+                let then_b = self.bwd_sweep(then_body)?;
+                let else_b = self.bwd_sweep(else_body)?;
+                out.push(Stmt::If {
+                    cond: BoolExpr::cmp(CmpOp::Eq, Expr::var(bv), Expr::IntLit(1)),
+                    then_body: then_b,
+                    else_body: else_b,
+                });
+                Ok(())
+            }
+            Stmt::For(l) => {
+                if !self.needs_reversal(&l.body) {
+                    return Ok(());
+                }
+                // Bound variables must be loop-invariant for the reversed
+                // bounds to be correct.
+                let mut bound_vars = Vec::new();
+                for e in [&l.lo, &l.hi, &l.step] {
+                    e.scalar_vars(&mut bound_vars);
+                }
+                let mut assigned = HashSet::new();
+                for s in &l.body {
+                    s.walk(&mut |st| {
+                        if let Stmt::Assign { lhs: LValue::Var(v), .. } = st {
+                            assigned.insert(v.clone());
+                        }
+                        if let Stmt::For(inner) = st {
+                            assigned.insert(inner.var.clone());
+                        }
+                    });
+                }
+                if let Some(v) = bound_vars.iter().find(|v| assigned.contains(*v)) {
+                    return Err(AdError::new(format!(
+                        "loop bound variable `{v}` is modified inside the loop; \
+                         reversal would be incorrect"
+                    )));
+                }
+
+                let mut body = self.bwd_sweep(&l.body)?;
+                if l.parallel.is_some() {
+                    // Mirror of the forward snapshot: restore the
+                    // iteration-defined scalars before any adjoint work.
+                    let mut pops = Vec::new();
+                    for v in self.iteration_scalars(&l.body).into_iter().rev() {
+                        pops.push(Stmt::Pop(LValue::var(v)));
+                    }
+                    pops.extend(body);
+                    body = pops;
+                }
+                let (last, first, neg_step) = reversed_bounds(l);
+                let region = self.region_of.get(&(l.as_ref() as *const ForLoop as usize));
+                match (region, &l.parallel) {
+                    (Some(&region), Some(primal_info)) if !self.opts.parallel.is_serial() => {
+                        let (info, body) =
+                            self.parallel_adjoint_pragma(region, primal_info, &l.var, body);
+                        out.push(Stmt::For(Box::new(ForLoop {
+                            var: l.var.clone(),
+                            lo: last,
+                            hi: first,
+                            step: neg_step,
+                            body,
+                            parallel: Some(info),
+                        })));
+                    }
+                    _ => {
+                        out.push(Stmt::For(Box::new(ForLoop {
+                            var: l.var.clone(),
+                            lo: last,
+                            hi: first,
+                            step: neg_step,
+                            body,
+                            parallel: None,
+                        })));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Build the data-sharing clauses of an adjoint parallel loop and apply
+    /// the per-array safeguard modes to its body.
+    fn parallel_adjoint_pragma(
+        &mut self,
+        region: usize,
+        primal: &ParallelInfo,
+        counter: &str,
+        body: Vec<Stmt>,
+    ) -> (ParallelInfo, Vec<Stmt>) {
+        // Names assigned (scalars) and referenced in the body.
+        let mut assigned_scalars: HashSet<String> = HashSet::new();
+        let mut referenced: HashSet<String> = HashSet::new();
+        let mut incremented_adjoint_arrays: HashSet<String> = HashSet::new();
+        let mut incremented_adjoint_scalars: HashSet<String> = HashSet::new();
+        for s in &body {
+            s.walk(&mut |st| match st {
+                Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. } | Stmt::Pop(lhs) => {
+                    if let LValue::Var(v) = lhs {
+                        assigned_scalars.insert(v.clone());
+                    }
+                    if let Some(primal_name) = self.primal_of_adjoint(lhs.name()) {
+                        if st.as_increment().is_some()
+                            || matches!(st, Stmt::AtomicAdd { .. })
+                        {
+                            if matches!(lhs, LValue::Index { .. }) {
+                                incremented_adjoint_arrays.insert(primal_name);
+                            } else {
+                                incremented_adjoint_scalars.insert(lhs.name().to_string());
+                            }
+                        }
+                    }
+                }
+                Stmt::For(inner) => {
+                    assigned_scalars.insert(inner.var.clone());
+                }
+                _ => {}
+            });
+            s.walk_exprs(&mut |e| match e {
+                Expr::Var(n) => {
+                    referenced.insert(n.clone());
+                }
+                Expr::Index { array, .. } => {
+                    referenced.insert(array.clone());
+                }
+                _ => {}
+            });
+            // Lvalue names too.
+            s.walk(&mut |st| match st {
+                Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. } | Stmt::Pop(lhs) => {
+                    referenced.insert(lhs.name().to_string());
+                }
+                _ => {}
+            });
+        }
+
+        let is_array = |n: &str| -> bool {
+            if let Some(d) = self.prog.decl(n) {
+                return d.is_array();
+            }
+            // Adjoint array of a primal array.
+            if let Some(p) = self.primal_of_adjoint(n) {
+                return self.prog.decl(&p).map(|d| d.is_array()).unwrap_or(false);
+            }
+            false
+        };
+
+        let mut info = ParallelInfo::default();
+        let mut body = body;
+
+        // Zero-init adjoints of primal-private real scalars at iteration
+        // start (OpenMP privates are uninitialized).
+        let mut preamble = Vec::new();
+        for pvar in &primal.private {
+            if self.is_active(pvar) {
+                let b = self.adjoint_name(pvar);
+                if referenced.contains(&b) {
+                    preamble.push(Stmt::assign(LValue::var(b), Expr::real(0.0)));
+                }
+            }
+        }
+        if !preamble.is_empty() {
+            preamble.extend(body);
+            body = preamble;
+        }
+
+        // An adjoint array may only be privatized by a reduction clause if
+        // its *every* appearance in the region is an increment (lhs and
+        // the matching self-read): any other read would see the private
+        // zero-initialized copy instead of the incoming seed values, and
+        // any overwrite could not be merged. Mixed-access arrays fall back
+        // to atomics on their increments.
+        let mut reduction_eligible: HashSet<String> = HashSet::new();
+        let mut reduction_fallback_atomic: HashSet<String> = HashSet::new();
+        for primal_name in &incremented_adjoint_arrays {
+            if self.opts.parallel.mode_of(region, primal_name) != IncMode::Reduction {
+                continue;
+            }
+            let bname = self.adjoint_name(primal_name);
+            let mut total_reads = 0usize;
+            let mut self_reads = 0usize;
+            let mut non_increment_writes = 0usize;
+            for s in &body {
+                s.walk(&mut |st| {
+                    let is_inc = st.as_increment().is_some()
+                        || matches!(st, Stmt::AtomicAdd { .. });
+                    match st {
+                        Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. }
+                            if lhs.name() == bname => {
+                                if is_inc {
+                                    self_reads += 1;
+                                } else {
+                                    non_increment_writes += 1;
+                                }
+                            }
+                        Stmt::Pop(lhs) if lhs.name() == bname => {
+                            non_increment_writes += 1;
+                        }
+                        _ => {}
+                    }
+                });
+                s.walk_exprs(&mut |e| {
+                    if let Expr::Index { array, .. } = e {
+                        if array == &bname {
+                            total_reads += 1;
+                        }
+                    }
+                });
+            }
+            // Each increment's rhs contains exactly one self-read; index
+            // expressions inside the lhs do not read the adjoint array.
+            if non_increment_writes == 0 && total_reads == self_reads {
+                reduction_eligible.insert(primal_name.clone());
+            } else {
+                reduction_fallback_atomic.insert(primal_name.clone());
+            }
+        }
+
+        for name in &referenced {
+            if name == counter {
+                continue;
+            }
+            if is_array(name) {
+                let red = self
+                    .primal_of_adjoint(name)
+                    .map(|p| reduction_eligible.contains(&p))
+                    .unwrap_or(false);
+                if red {
+                    info.reductions.push((RedOp::Add, name.clone()));
+                } else {
+                    info.shared.push(name.clone());
+                }
+            } else {
+                // Scalar.
+                let primal_private =
+                    primal.is_privatized(name) || {
+                        self.primal_of_adjoint(name)
+                            .map(|p| primal.is_privatized(&p))
+                            .unwrap_or(false)
+                    };
+                if incremented_adjoint_scalars.contains(name) && !primal_private {
+                    // Shared scalar read by all threads in the primal:
+                    // its adjoint accumulates across threads.
+                    info.reductions.push((RedOp::Add, name.clone()));
+                } else if assigned_scalars.contains(name) {
+                    info.private.push(name.clone());
+                } else {
+                    info.shared.push(name.clone());
+                }
+            }
+        }
+        info.shared.sort();
+        info.private.sort();
+        info.reductions.sort_by(|a, b| a.1.cmp(&b.1));
+
+        // Apply atomic mode: rewrite plain increments to AtomicAdd — both
+        // for arrays the plan marked Atomic and for reduction-ineligible
+        // mixed-access arrays.
+        let atomic_arrays: HashSet<String> = incremented_adjoint_arrays
+            .iter()
+            .filter(|p| {
+                self.opts.parallel.mode_of(region, p) == IncMode::Atomic
+                    || reduction_fallback_atomic.contains(*p)
+            })
+            .map(|p| self.adjoint_name(p))
+            .collect();
+        if !atomic_arrays.is_empty() {
+            body = body
+                .into_iter()
+                .map(|s| apply_atomic(s, &atomic_arrays))
+                .collect();
+        }
+        (info, body)
+    }
+}
+
+/// Rewrite increments to the given adjoint arrays as atomic updates,
+/// recursively through control flow.
+fn apply_atomic(s: Stmt, arrays: &HashSet<String>) -> Stmt {
+    match s {
+        Stmt::Assign { .. } => {
+            if let Some((lhs, added)) = s.as_increment() {
+                if matches!(lhs, LValue::Index { .. }) && arrays.contains(lhs.name()) {
+                    return Stmt::AtomicAdd {
+                        lhs: lhs.clone(),
+                        rhs: added,
+                    };
+                }
+            }
+            s
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
+            cond,
+            then_body: then_body
+                .into_iter()
+                .map(|t| apply_atomic(t, arrays))
+                .collect(),
+            else_body: else_body
+                .into_iter()
+                .map(|t| apply_atomic(t, arrays))
+                .collect(),
+        },
+        Stmt::For(mut l) => {
+            l.body = l
+                .body
+                .into_iter()
+                .map(|t| apply_atomic(t, arrays))
+                .collect();
+            Stmt::For(l)
+        }
+        other => other,
+    }
+}
+
+/// Bounds of the reversed loop: `do v = last, lo, -step` where
+/// `last = lo + ((hi - lo) / step) * step` is the final iterate actually
+/// executed by the primal loop (integer division truncates toward zero,
+/// which also yields an empty reversed loop when the primal was empty).
+fn reversed_bounds(l: &ForLoop) -> (Expr, Expr, Expr) {
+    let last = if l.step == Expr::IntLit(1) {
+        l.hi.clone()
+    } else {
+        l.lo.clone()
+            + Expr::binary(
+                BinOp::Div,
+                l.hi.clone() - l.lo.clone(),
+                l.step.clone(),
+            ) * l.step.clone()
+    };
+    let neg_step = match &l.step {
+        Expr::IntLit(v) => Expr::IntLit(-v),
+        other => other.clone().neg(),
+    };
+    (last, l.lo.clone(), neg_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ParallelTreatment;
+    use formad_ir::{parse_program, program_to_string};
+
+    fn diff(src: &str, indep: &[&str], dep: &[&str], par: ParallelTreatment) -> Program {
+        let p = parse_program(src).unwrap();
+        differentiate(&p, &AdjointOptions::new(indep, dep, par)).unwrap()
+    }
+
+    const SAXPY: &str = r#"
+subroutine saxpy(n, a, x, y)
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+  !$omp parallel do shared(x, y)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end subroutine
+"#;
+
+    #[test]
+    fn saxpy_adjoint_shape() {
+        let adj = diff(SAXPY, &["x"], &["y"], ParallelTreatment::Uniform(IncMode::Plain));
+        assert_eq!(adj.name, "saxpy_b");
+        // Params: n, a, x, y, then adjoints of active ones (x, y; a is
+        // independent? no — a not in independents so varied(a)=false).
+        let names: Vec<&str> = adj.params.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"xb"));
+        assert!(names.contains(&"yb"));
+        assert!(!names.contains(&"ab"));
+        let text = program_to_string(&adj);
+        // The adjoint loop increments xb and leaves yb alone except reads.
+        assert!(text.contains("xb(i) = xb(i) + yb(i) * a"), "{text}");
+        // Exact increment: no push/pop of y and no yb zeroing.
+        assert!(!text.contains("push"), "{text}");
+        assert!(!text.contains("yb(i) = 0"), "{text}");
+    }
+
+    #[test]
+    fn saxpy_with_a_active_gets_reduction() {
+        let adj = diff(
+            SAXPY,
+            &["x", "a"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Plain),
+        );
+        let text = program_to_string(&adj);
+        assert!(text.contains("reduction(+: ab)"), "{text}");
+        assert!(text.contains("ab = ab + yb(i) * x(i)"), "{text}");
+    }
+
+    #[test]
+    fn atomic_mode_rewrites_increments() {
+        let adj = diff(
+            SAXPY,
+            &["x"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Atomic),
+        );
+        let text = program_to_string(&adj);
+        assert!(text.contains("!$omp atomic"), "{text}");
+    }
+
+    #[test]
+    fn reduction_mode_adds_clause() {
+        let adj = diff(
+            SAXPY,
+            &["x"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Reduction),
+        );
+        let text = program_to_string(&adj);
+        assert!(text.contains("reduction(+: xb)"), "{text}");
+        assert!(!text.contains("!$omp atomic"), "{text}");
+    }
+
+    #[test]
+    fn serial_mode_strips_pragmas() {
+        let adj = diff(SAXPY, &["x"], &["y"], ParallelTreatment::Serial);
+        let text = program_to_string(&adj);
+        assert!(!text.contains("!$omp"), "{text}");
+    }
+
+    #[test]
+    fn overwrite_gets_tape_and_restore() {
+        // z overwrites its input: nonlinear, so x must be recorded.
+        let src = r#"
+subroutine sq(n, x)
+  integer, intent(in) :: n
+  real, intent(inout) :: x(n)
+  integer :: i
+  do i = 1, n
+    x(i) = x(i) * x(i)
+  end do
+end subroutine
+"#;
+        let adj = diff(src, &["x"], &["x"], ParallelTreatment::Serial);
+        let text = program_to_string(&adj);
+        assert!(text.contains("call push(x(i))"), "{text}");
+        assert!(text.contains("call pop(x(i))"), "{text}");
+        // Self-seed: xb(i) = xb(i)*x(i) + xb(i)*x(i).
+        assert!(text.contains("xb(i) = xb(i) * x(i) + xb(i) * x(i)"), "{text}");
+    }
+
+    #[test]
+    fn reversed_loop_bounds_with_stride() {
+        let src = r#"
+subroutine st(n, x, y)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+  do i = 2, n - 1, 2
+    y(i) = y(i) + x(i)
+  end do
+end subroutine
+"#;
+        let adj = diff(src, &["x"], &["y"], ParallelTreatment::Serial);
+        let text = program_to_string(&adj);
+        assert!(
+            text.contains("do i = 2 + (n - 1 - 2) / 2 * 2, 2, -2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn branch_decisions_pushed_and_popped() {
+        let src = r#"
+subroutine br(n, x, y, c)
+  integer, intent(in) :: n
+  integer, intent(in) :: c(n)
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+  do i = 1, n
+    if (c(i) .gt. 0) then
+      y(i) = y(i) + 2.0 * x(i)
+    end if
+  end do
+end subroutine
+"#;
+        let adj = diff(src, &["x"], &["y"], ParallelTreatment::Serial);
+        let text = program_to_string(&adj);
+        assert!(text.contains("call push(1)"), "{text}");
+        assert!(text.contains("call push(0)"), "{text}");
+        assert!(text.contains("call pop(ad_branch0)"), "{text}");
+        assert!(text.contains("if (ad_branch0 .eq. 1) then"), "{text}");
+        // The branch local is declared.
+        assert!(adj.locals.iter().any(|d| d.name == "ad_branch0"));
+    }
+
+    #[test]
+    fn inactive_if_left_alone() {
+        let src = r#"
+subroutine br(n, w, y)
+  integer, intent(in) :: n
+  integer :: w
+  real, intent(inout) :: y(n)
+  integer :: i
+  do i = 1, n
+    if (i .gt. 1) then
+      w = i
+    end if
+  end do
+end subroutine
+"#;
+        // w is integer and never feeds an adjoint: the if is not reversed.
+        let adj = diff(src, &["y"], &["y"], ParallelTreatment::Serial);
+        let text = program_to_string(&adj);
+        assert!(!text.contains("ad_branch"), "{text}");
+    }
+
+    #[test]
+    fn loop_bound_modified_in_body_rejected() {
+        let src = r#"
+subroutine bad(n, y)
+  integer, intent(in) :: n
+  integer :: m, i
+  real, intent(inout) :: y(n)
+  m = n
+  do i = 1, m
+    y(i) = y(i) * 2.0
+    m = m - 1
+  end do
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        let err = differentiate(
+            &p,
+            &AdjointOptions::new(&["y"], &["y"], ParallelTreatment::Serial),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("loop bound"), "{err}");
+    }
+
+    #[test]
+    fn unknown_independent_rejected() {
+        let p = parse_program(SAXPY).unwrap();
+        let err = differentiate(
+            &p,
+            &AdjointOptions::new(&["zzz"], &["y"], ParallelTreatment::Serial),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("zzz"));
+    }
+
+    #[test]
+    fn fig2_indirect_adjoint() {
+        let src = r#"
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine
+"#;
+        let adj = diff(src, &["x"], &["y"], ParallelTreatment::Uniform(IncMode::Plain));
+        let text = program_to_string(&adj);
+        // xb(c(i)+7) += yb(c(i)); yb(c(i)) = 0 — as in the paper's Fig. 2.
+        assert!(
+            text.contains("xb(c(i) + 7) = xb(c(i) + 7) + yb(c(i))"),
+            "{text}"
+        );
+        assert!(text.contains("yb(c(i)) = 0"), "{text}");
+        // Reversed parallel loop.
+        assert!(text.contains("do i = n, 1, -1"), "{text}");
+    }
+
+    #[test]
+    fn private_scalar_adjoint_zero_initialized() {
+        let src = r#"
+subroutine gg(n, dv, grad, e2n, sij)
+  integer, intent(in) :: n
+  real, intent(in) :: dv(n)
+  real, intent(inout) :: grad(n)
+  integer, intent(in) :: e2n(n)
+  real, intent(in) :: sij(n)
+  integer :: ie, i
+  real :: dvface
+  !$omp parallel do shared(dv, grad, e2n, sij) private(i, dvface)
+  do ie = 1, n
+    i = e2n(ie)
+    dvface = 0.5 * dv(i)
+    grad(i) = grad(i) + dvface * sij(ie)
+  end do
+end subroutine
+"#;
+        let adj = diff(src, &["dv"], &["grad"], ParallelTreatment::Uniform(IncMode::Plain));
+        let text = program_to_string(&adj);
+        assert!(text.contains("dvfaceb = 0.0"), "{text}");
+        assert!(text.contains("private"), "{text}");
+        // dvfaceb must be in the private clause of the adjoint loop.
+        let adj_pragmas: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("!$omp parallel do"))
+            .collect();
+        assert!(
+            adj_pragmas.iter().any(|l| l.contains("dvfaceb")),
+            "{adj_pragmas:?}"
+        );
+    }
+}

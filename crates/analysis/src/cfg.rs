@@ -1,0 +1,289 @@
+//! Control-flow graph construction over the structured IR.
+//!
+//! The FormAD analyses (contexts §5.1, instances §5.2) are defined on a
+//! CFG, like in the paper's Tapenade implementation, rather than directly
+//! on the syntax tree — dominator/post-dominator relations then give the
+//! context inclusion ordering for free.
+
+use formad_ir::{BoolExpr, ForLoop, Stmt};
+
+/// Dense CFG node identifier.
+pub type NodeId = usize;
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind<'a> {
+    /// Unique entry node (id 0).
+    Entry,
+    /// Unique exit node (id 1).
+    Exit,
+    /// Simple statement: `Assign`, `AtomicAdd`, `Push`, or `Pop`.
+    Simple(&'a Stmt),
+    /// `if` condition evaluation.
+    Branch(&'a BoolExpr),
+    /// Loop head: evaluates bounds, defines the loop counter, decides
+    /// whether to run another iteration.
+    LoopHead(&'a ForLoop),
+    /// Structural join point after an `if`.
+    Join,
+}
+
+/// A control-flow graph over borrowed statements.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// Node payloads; `nodes[0]` is `Entry`, `nodes[1]` is `Exit`.
+    pub nodes: Vec<NodeKind<'a>>,
+    /// Successor adjacency.
+    pub succs: Vec<Vec<NodeId>>,
+    /// Predecessor adjacency.
+    pub preds: Vec<Vec<NodeId>>,
+}
+
+/// Entry node id.
+pub const ENTRY: NodeId = 0;
+/// Exit node id.
+pub const EXIT: NodeId = 1;
+
+impl<'a> Cfg<'a> {
+    /// Build the CFG of a statement list (typically a parallel-loop body).
+    pub fn build(body: &'a [Stmt]) -> Cfg<'a> {
+        let mut cfg = Cfg {
+            nodes: vec![NodeKind::Entry, NodeKind::Exit],
+            succs: vec![Vec::new(), Vec::new()],
+            preds: vec![Vec::new(), Vec::new()],
+        };
+        let last = cfg.lower_seq(body, ENTRY);
+        cfg.edge(last, EXIT);
+        cfg
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has only entry/exit.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 2
+    }
+
+    fn add(&mut self, kind: NodeKind<'a>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(kind);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+            self.preds[to].push(from);
+        }
+    }
+
+    /// Lower a statement sequence starting after `pred`; returns the node
+    /// that flow leaves the sequence from.
+    fn lower_seq(&mut self, body: &'a [Stmt], mut pred: NodeId) -> NodeId {
+        for s in body {
+            pred = self.lower_stmt(s, pred);
+        }
+        pred
+    }
+
+    fn lower_stmt(&mut self, s: &'a Stmt, pred: NodeId) -> NodeId {
+        match s {
+            Stmt::Assign { .. } | Stmt::AtomicAdd { .. } | Stmt::Push(_) | Stmt::Pop(_) => {
+                let n = self.add(NodeKind::Simple(s));
+                self.edge(pred, n);
+                n
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.add(NodeKind::Branch(cond));
+                self.edge(pred, c);
+                let join = self.add(NodeKind::Join);
+                let then_end = self.lower_seq(then_body, c);
+                self.edge(then_end, join);
+                if else_body.is_empty() {
+                    self.edge(c, join);
+                } else {
+                    let else_end = self.lower_seq(else_body, c);
+                    self.edge(else_end, join);
+                }
+                join
+            }
+            Stmt::For(l) => {
+                let head = self.add(NodeKind::LoopHead(l));
+                self.edge(pred, head);
+                let body_end = self.lower_seq(&l.body, head);
+                // Back edge to the head; fall-through leaves via the head.
+                self.edge(body_end, head);
+                head
+            }
+        }
+    }
+
+    /// Reverse postorder from the entry (every node is reachable by
+    /// construction).
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.len()];
+        let mut order = Vec::with_capacity(self.len());
+        // Iterative DFS with explicit stack to avoid recursion limits.
+        let mut stack: Vec<(NodeId, usize)> = vec![(ENTRY, 0)];
+        visited[ENTRY] = true;
+        while let Some((node, idx)) = stack.pop() {
+            if idx < self.succs[node].len() {
+                stack.push((node, idx + 1));
+                let next = self.succs[node][idx];
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formad_ir::parse_program;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        parse_program(src).unwrap().body
+    }
+
+    #[test]
+    fn straight_line() {
+        let body = body_of(
+            r#"
+subroutine t(a, b)
+  real, intent(inout) :: a, b
+  a = 1.0
+  b = 2.0
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        // entry, exit, two statements.
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succs[ENTRY], vec![2]);
+        assert_eq!(cfg.succs[2], vec![3]);
+        assert_eq!(cfg.succs[3], vec![EXIT]);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let body = body_of(
+            r#"
+subroutine t(a, i, j)
+  real, intent(inout) :: a
+  integer, intent(in) :: i, j
+  if (i .ne. j) then
+    a = 1.0
+  else
+    a = 2.0
+  end if
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        // entry, exit, branch, join, 2 stmts.
+        assert_eq!(cfg.len(), 6);
+        let branch = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Branch(_)))
+            .unwrap();
+        assert_eq!(cfg.succs[branch].len(), 2);
+        let join = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Join))
+            .unwrap();
+        assert_eq!(cfg.preds[join].len(), 2);
+    }
+
+    #[test]
+    fn if_without_else_edges_to_join() {
+        let body = body_of(
+            r#"
+subroutine t(a, i, j)
+  real, intent(inout) :: a
+  integer, intent(in) :: i, j
+  if (i .ne. j) then
+    a = 1.0
+  end if
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        let branch = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Branch(_)))
+            .unwrap();
+        let join = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Join))
+            .unwrap();
+        assert!(cfg.succs[branch].contains(&join));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let body = body_of(
+            r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i
+  do i = 1, n
+    u(i) = 0.0
+  end do
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        let head = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::LoopHead(_)))
+            .unwrap();
+        let stmt = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Simple(_)))
+            .unwrap();
+        assert!(cfg.succs[head].contains(&stmt));
+        assert!(cfg.succs[stmt].contains(&head)); // back edge
+        assert!(cfg.succs[head].contains(&EXIT));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_visits_all() {
+        let body = body_of(
+            r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i, j
+  do i = 1, n
+    if (i .ne. 1) then
+      u(i) = 0.0
+    end if
+    do j = 1, n
+      u(j) = u(j) + 1.0
+    end do
+  end do
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), cfg.len());
+        assert_eq!(rpo[0], ENTRY);
+        // Every node appears exactly once.
+        let mut sorted = rpo.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cfg.len());
+    }
+}

@@ -1,0 +1,266 @@
+//! Dominator and post-dominator analysis (Cooper–Harvey–Kennedy).
+
+use crate::cfg::{Cfg, NodeId, ENTRY, EXIT};
+
+/// Immediate-dominator tree plus an ancestor query.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[n]` = immediate dominator of `n`; the root's idom is itself.
+    pub idom: Vec<NodeId>,
+    root: NodeId,
+}
+
+impl DomTree {
+    /// Does `a` dominate `b` (reflexively)?
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut n = b;
+        loop {
+            if n == a {
+                return true;
+            }
+            if n == self.root {
+                return false;
+            }
+            n = self.idom[n];
+        }
+    }
+
+    /// Root of the tree (entry for dominators, exit for post-dominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+}
+
+/// Compute the dominator tree of `cfg`.
+pub fn dominators(cfg: &Cfg<'_>) -> DomTree {
+    let rpo = cfg.reverse_postorder();
+    compute(cfg.len(), &rpo, |n| &cfg.preds[n], ENTRY)
+}
+
+/// Compute the post-dominator tree of `cfg` (dominators on the reversed
+/// graph, rooted at the exit).
+pub fn post_dominators(cfg: &Cfg<'_>) -> DomTree {
+    // Reverse postorder of the reversed graph = DFS finish order from EXIT
+    // over predecessor edges.
+    let n = cfg.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(NodeId, usize)> = vec![(EXIT, 0)];
+    visited[EXIT] = true;
+    while let Some((node, idx)) = stack.pop() {
+        if idx < cfg.preds[node].len() {
+            stack.push((node, idx + 1));
+            let next = cfg.preds[node][idx];
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            order.push(node);
+        }
+    }
+    order.reverse();
+    compute(n, &order, |x| &cfg.succs[x], EXIT)
+}
+
+/// The CHK iterative algorithm, parameterized over edge direction.
+fn compute<'f>(
+    n: usize,
+    rpo: &[NodeId],
+    preds: impl Fn(NodeId) -> &'f Vec<NodeId>,
+    root: NodeId,
+) -> DomTree {
+    const UNDEF: usize = usize::MAX;
+    let mut rpo_index = vec![UNDEF; n];
+    for (k, &node) in rpo.iter().enumerate() {
+        rpo_index[node] = k;
+    }
+    let mut idom = vec![UNDEF; n];
+    idom[root] = root;
+
+    let intersect = |idom: &[usize], mut a: NodeId, mut b: NodeId| -> NodeId {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a];
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in rpo.iter() {
+            if node == root {
+                continue;
+            }
+            let mut new_idom = UNDEF;
+            for &p in preds(node) {
+                if idom[p] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    intersect(&idom, new_idom, p)
+                };
+            }
+            if new_idom != UNDEF && idom[node] != new_idom {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Unreachable nodes (none in well-formed CFGs) fall back to the root.
+    for v in idom.iter_mut() {
+        if *v == UNDEF {
+            *v = root;
+        }
+    }
+    DomTree { idom, root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeKind;
+    use formad_ir::{parse_program, Stmt};
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        parse_program(src).unwrap().body
+    }
+
+    const DIAMOND: &str = r#"
+subroutine t(a, i, j)
+  real, intent(inout) :: a
+  integer, intent(in) :: i, j
+  a = 0.0
+  if (i .ne. j) then
+    a = 1.0
+  else
+    a = 2.0
+  end if
+  a = 3.0
+end subroutine
+"#;
+
+    #[test]
+    fn diamond_dominators() {
+        let body = body_of(DIAMOND);
+        let cfg = Cfg::build(&body);
+        let dom = dominators(&cfg);
+        let pdom = post_dominators(&cfg);
+        let branch = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Branch(_)))
+            .unwrap();
+        let join = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Join))
+            .unwrap();
+        let arms: Vec<_> = (0..cfg.len())
+            .filter(|&n| {
+                matches!(cfg.nodes[n], NodeKind::Simple(_)) && cfg.preds[n] == vec![branch]
+            })
+            .collect();
+        assert_eq!(arms.len(), 2);
+        // The branch dominates both arms and the join; neither arm
+        // dominates the join.
+        for &a in &arms {
+            assert!(dom.dominates(branch, a));
+            assert!(!dom.dominates(a, join));
+            // The join post-dominates both arms.
+            assert!(pdom.dominates(join, a));
+            // Arms do not post-dominate the branch.
+            assert!(!pdom.dominates(a, branch));
+        }
+        assert!(dom.dominates(branch, join));
+        // The join post-dominates the branch.
+        assert!(pdom.dominates(join, branch));
+    }
+
+    #[test]
+    fn loop_body_dominated_not_postdominating() {
+        let body = body_of(
+            r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i
+  do i = 1, n
+    u(i) = 0.0
+  end do
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        let dom = dominators(&cfg);
+        let pdom = post_dominators(&cfg);
+        let head = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::LoopHead(_)))
+            .unwrap();
+        let stmt = (0..cfg.len())
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Simple(_)))
+            .unwrap();
+        assert!(dom.dominates(head, stmt));
+        // The loop may execute zero iterations: the body statement does not
+        // post-dominate the head.
+        assert!(!pdom.dominates(stmt, head));
+        // The head post-dominates its body (flow must come back through).
+        assert!(pdom.dominates(head, stmt));
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let body = body_of(DIAMOND);
+        let cfg = Cfg::build(&body);
+        let dom = dominators(&cfg);
+        for n in 0..cfg.len() {
+            assert!(dom.dominates(crate::cfg::ENTRY, n));
+        }
+        let pdom = post_dominators(&cfg);
+        for n in 0..cfg.len() {
+            assert!(pdom.dominates(crate::cfg::EXIT, n));
+        }
+    }
+
+    #[test]
+    fn reflexive() {
+        let body = body_of(DIAMOND);
+        let cfg = Cfg::build(&body);
+        let dom = dominators(&cfg);
+        for n in 0..cfg.len() {
+            assert!(dom.dominates(n, n));
+        }
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let body = body_of(
+            r#"
+subroutine t(a)
+  real, intent(inout) :: a
+  a = 1.0
+  a = 2.0
+  a = 3.0
+end subroutine
+"#,
+        );
+        let cfg = Cfg::build(&body);
+        let dom = dominators(&cfg);
+        let pdom = post_dominators(&cfg);
+        // In a chain every earlier statement dominates later ones and every
+        // later statement post-dominates earlier ones.
+        let stmts: Vec<_> = (0..cfg.len())
+            .filter(|&n| matches!(cfg.nodes[n], NodeKind::Simple(_)))
+            .collect();
+        assert_eq!(stmts.len(), 3);
+        for (k1, &a) in stmts.iter().enumerate() {
+            for (k2, &b) in stmts.iter().enumerate() {
+                assert_eq!(dom.dominates(a, b), k1 <= k2);
+                assert_eq!(pdom.dominates(b, a), k1 <= k2);
+            }
+        }
+    }
+}

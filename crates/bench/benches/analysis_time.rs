@@ -1,0 +1,61 @@
+//! Wall-clock time of the full FormAD analysis per benchmark — the
+//! paper's Table 1 `time` column measured on real hardware (the paper
+//! reports 0.6–4.8 s through the Java/Z3 stack; our from-scratch prover
+//! runs the same queries natively).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use formad::{Formad, FormadOptions};
+use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+
+fn analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formad_analysis");
+    group.sample_size(10);
+
+    let st1 = StencilCase::small(64, 1).ir();
+    group.bench_function("stencil_1", |b| {
+        let tool = Formad::new(FormadOptions::new(
+            StencilCase::independents(),
+            StencilCase::dependents(),
+        ));
+        b.iter(|| tool.analyze(&st1).unwrap());
+    });
+
+    let st8 = StencilCase::large(128, 1).ir();
+    group.bench_function("stencil_8", |b| {
+        let tool = Formad::new(FormadOptions::new(
+            StencilCase::independents(),
+            StencilCase::dependents(),
+        ));
+        b.iter(|| tool.analyze(&st8).unwrap());
+    });
+
+    let gfmc = GfmcCase::new(16, 1);
+    let split = gfmc.ir();
+    let fused = gfmc.ir_star();
+    let tool_g = Formad::new(FormadOptions::new(
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    ));
+    group.bench_function("gfmc_split", |b| b.iter(|| tool_g.analyze(&split).unwrap()));
+    group.bench_function("gfmc_star", |b| b.iter(|| tool_g.analyze(&fused).unwrap()));
+
+    let lbm_ir = lbm::lbm_ir();
+    group.bench_function("lbm", |b| {
+        let tool = Formad::new(FormadOptions::new(lbm::independents(), lbm::dependents()));
+        b.iter(|| tool.analyze(&lbm_ir).unwrap());
+    });
+
+    let gg = GreenGaussCase::linear(64, 1).ir();
+    group.bench_function("green_gauss", |b| {
+        let tool = Formad::new(FormadOptions::new(
+            GreenGaussCase::independents(),
+            GreenGaussCase::dependents(),
+        ));
+        b.iter(|| tool.analyze(&gg).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, analysis);
+criterion_main!(benches);

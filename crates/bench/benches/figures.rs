@@ -1,0 +1,39 @@
+//! Criterion wrappers around the figure experiments: one bench per table
+//! and figure of the paper, at a reduced scale so `cargo bench` completes
+//! in minutes (use the `repro` binary for full sweeps and CSV output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use formad_bench::{gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1};
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_artifacts");
+    group.sample_size(10);
+
+    // Table 1: the full six-benchmark analysis sweep.
+    group.bench_function("table1", |b| b.iter(table1));
+
+    // §7.3 narrative (analysis-only benchmark).
+    group.bench_function("lbm_report", |b| b.iter(lbm_report));
+
+    // Figures 3/5 and 4/6: one simulated protocol run at tiny scale
+    // (absolute + speedup series come from the same data).
+    group.bench_function("fig3_fig5_small_stencil", |b| {
+        b.iter(|| stencil_figure(1, 2_000, 1, &[1, 18]))
+    });
+    group.bench_function("fig4_fig6_large_stencil", |b| {
+        b.iter(|| stencil_figure(8, 2_000, 1, &[1, 18]))
+    });
+
+    // Figures 7/8.
+    group.bench_function("fig7_fig8_gfmc", |b| b.iter(|| gfmc_figure(16, 1, &[1, 18])));
+
+    // Figures 9/10.
+    group.bench_function("fig9_fig10_green_gauss", |b| {
+        b.iter(|| green_gauss_figure(1_000, 1, &[1, 18]))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks of the theorem-prover substrate: the query patterns
+//! FormAD issues, from Figure-2-sized to LBM-sized models (the dominant
+//! cost of the paper's Table 1 `time` column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use formad_smt::{Formula, SatResult, Solver, Term};
+
+fn fig2_query(c: &mut Criterion) {
+    c.bench_function("prover/fig2_indirect_unsat", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let i = Term::sym("i");
+            let ip = Term::sym("i'");
+            let ci = Term::app("c", vec![i.clone()]);
+            let cip = Term::app("c", vec![ip.clone()]);
+            let f = Formula::term_ne(&i, &ip, &mut s.table).unwrap();
+            s.assert(f);
+            let f = Formula::term_ne(&ci, &cip, &mut s.table).unwrap();
+            s.assert(f);
+            let q = Formula::term_eq(
+                &(ci + Term::int(7)),
+                &(cip + Term::int(7)),
+                &mut s.table,
+            )
+            .unwrap();
+            assert_eq!(s.check_with(q), SatResult::Unsat);
+        });
+    });
+}
+
+fn stride_parity_query(c: &mut Criterion) {
+    c.bench_function("prover/stride2_parity_unsat", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let two = Term::int(2);
+            let f = Formula::term_eq(
+                &Term::sym("i"),
+                &(Term::sym("lo") + two.clone() * Term::sym("k")),
+                &mut s.table,
+            )
+            .unwrap();
+            s.assert(f);
+            let f = Formula::term_eq(
+                &Term::sym("i'"),
+                &(Term::sym("lo") + two * Term::sym("k'")),
+                &mut s.table,
+            )
+            .unwrap();
+            s.assert(f);
+            let f = Formula::term_ne(&Term::sym("k"), &Term::sym("k'"), &mut s.table).unwrap();
+            s.assert(f);
+            let q = Formula::term_eq(
+                &Term::sym("i'"),
+                &(Term::sym("i") - Term::int(1)),
+                &mut s.table,
+            )
+            .unwrap();
+            assert_eq!(s.check_with(q), SatResult::Unsat);
+        });
+    });
+}
+
+/// An LBM-shaped model: ~19 write expressions, all pairwise disjointness
+/// facts asserted, one query that must stay satisfiable (the negative
+/// result).
+fn lbm_scale_model(c: &mut Criterion) {
+    let mults: Vec<i64> = vec![
+        -1, -119, 0, -14280, -120, -14520, -14399, 14401, 14520, 14400, 121, -14400, -14401,
+        14399, -121, 1, 14280, 119, 120,
+    ];
+    c.bench_function("prover/lbm_scale_model_sat", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let f =
+                Formula::term_ne(&Term::sym("i"), &Term::sym("i'"), &mut s.table).unwrap();
+            s.assert(f);
+            let nce = Term::sym("nce");
+            let expr = |k: usize, primed: bool| -> Term {
+                let suffix = if primed { "'" } else { "" };
+                Term::sym(format!("o{k}{suffix}"))
+                    + nce.clone() * Term::int(mults[k])
+                    + Term::sym(format!("i{suffix}"))
+            };
+            for k in 0..mults.len() {
+                for j in 0..mults.len() {
+                    let f = Formula::term_ne(&expr(k, true), &expr(j, false), &mut s.table)
+                        .unwrap();
+                    s.assert(f);
+                }
+            }
+            // The anomalous read: o6 with multiplier 0.
+            let q = Formula::term_eq(
+                &(Term::sym("o6'") + Term::sym("i'")),
+                &(Term::sym("o3") + Term::sym("i")),
+                &mut s.table,
+            )
+            .unwrap();
+            assert_eq!(s.check_with(q), SatResult::Sat);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig2_query, stride_parity_query, lbm_scale_model
+}
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! `formad` — command-line front end.
+//!
+//! ```text
+//! formad analyze  FILE --wrt x,y --of z          analysis report only
+//! formad adjoint  FILE --wrt x --of z [options]  print the adjoint program
+//! formad versions FILE --wrt x --of z            print all four versions
+//!
+//! options:
+//!   --wrt a,b          independent variables (differentiation inputs)
+//!   --of  c,d          dependent variables (differentiation outputs)
+//!   --mode MODE        formad | serial | atomic | reduction  (default formad)
+//!   --no-stride        disable stride root assertions
+//!   --no-contexts      disable control contexts (ablation)
+//!   --no-increment     disable exact-increment detection (ablation)
+//!   --table1 NAME      print a Table-1 row instead of the full report
+//!   --emit DIALECT     fortran (default) | c — output dialect for
+//!                      adjoint/versions
+//! ```
+//!
+//! Exit code 0 on success, 1 on analysis refusing everything is *not* an
+//! error (the report says so), 2 on usage/parse errors.
+
+use std::fs;
+use std::process::ExitCode;
+
+use formad::{Formad, FormadOptions, IncMode, ParallelTreatment};
+use formad_ir::{parse_any, program_to_clike, program_to_string};
+
+struct Args {
+    command: String,
+    file: String,
+    wrt: Vec<String>,
+    of: Vec<String>,
+    mode: String,
+    emit: String,
+    stride: bool,
+    contexts: bool,
+    increment: bool,
+    table1: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: formad <analyze|adjoint|versions> FILE --wrt a,b --of c,d \
+         [--mode formad|serial|atomic|reduction] [--no-stride] \
+         [--no-contexts] [--no-increment] [--table1 NAME]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let file = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        file,
+        wrt: Vec::new(),
+        of: Vec::new(),
+        mode: "formad".into(),
+        emit: "fortran".into(),
+        stride: true,
+        contexts: true,
+        increment: true,
+        table1: None,
+    };
+    let rest: Vec<String> = argv.collect();
+    let mut k = 0;
+    while k < rest.len() {
+        match rest[k].as_str() {
+            "--wrt" => {
+                k += 1;
+                args.wrt = rest
+                    .get(k)
+                    .ok_or_else(usage)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--of" => {
+                k += 1;
+                args.of = rest
+                    .get(k)
+                    .ok_or_else(usage)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--mode" => {
+                k += 1;
+                args.mode = rest.get(k).ok_or_else(usage)?.clone();
+            }
+            "--emit" => {
+                k += 1;
+                args.emit = rest.get(k).ok_or_else(usage)?.clone();
+            }
+            "--table1" => {
+                k += 1;
+                args.table1 = Some(rest.get(k).ok_or_else(usage)?.clone());
+            }
+            "--no-stride" => args.stride = false,
+            "--no-contexts" => args.contexts = false,
+            "--no-increment" => args.increment = false,
+            other => {
+                eprintln!("unknown option `{other}`");
+                return Err(usage());
+            }
+        }
+        k += 1;
+    }
+    if args.wrt.is_empty() || args.of.is_empty() {
+        eprintln!("--wrt and --of are required");
+        return Err(usage());
+    }
+    if !matches!(args.emit.as_str(), "fortran" | "c") {
+        eprintln!("unknown emit dialect `{}`", args.emit);
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn render(p: &formad_ir::Program, emit: &str) -> String {
+    match emit {
+        "c" => program_to_clike(p),
+        _ => program_to_string(p),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(c) => return c,
+    };
+    let src = match fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    // Both the Fortran-like and the C-like dialects are accepted.
+    let primal = match parse_any(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let errs = formad_ir::validate(&primal);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("validation: {e}");
+        }
+        return ExitCode::from(2);
+    }
+
+    let wrt: Vec<&str> = args.wrt.iter().map(|s| s.as_str()).collect();
+    let of: Vec<&str> = args.of.iter().map(|s| s.as_str()).collect();
+    let mut opts = FormadOptions::new(&wrt, &of);
+    opts.region.stride_constraints = args.stride;
+    opts.region.use_contexts = args.contexts;
+    opts.region.use_increment_detection = args.increment;
+    let tool = Formad::new(opts);
+
+    match args.command.as_str() {
+        "analyze" => {
+            let a = match tool.analyze(&primal) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match &args.table1 {
+                Some(name) => {
+                    println!("{}", formad::table1_header());
+                    println!("{}", formad::table1_row(name, &a));
+                }
+                None => print!("{}", formad::full_report(&primal.name, &a)),
+            }
+            ExitCode::SUCCESS
+        }
+        "adjoint" => {
+            let treatment = match args.mode.as_str() {
+                "formad" => None,
+                "serial" => Some(ParallelTreatment::Serial),
+                "atomic" => Some(ParallelTreatment::Uniform(IncMode::Atomic)),
+                "reduction" => Some(ParallelTreatment::Uniform(IncMode::Reduction)),
+                other => {
+                    eprintln!("unknown mode `{other}`");
+                    return ExitCode::from(2);
+                }
+            };
+            let adjoint = match treatment {
+                None => match tool.differentiate(&primal) {
+                    Ok(r) => {
+                        eprint!("{}", formad::full_report(&primal.name, &r.analysis));
+                        r.adjoint
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                Some(t) => match tool.adjoint_with(&primal, t) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            print!("{}", render(&adjoint, &args.emit));
+            ExitCode::SUCCESS
+        }
+        "versions" => {
+            let r = match tool.differentiate(&primal) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!("! ===== analysis =====");
+            for line in formad::full_report(&primal.name, &r.analysis).lines() {
+                println!("! {line}");
+            }
+            println!("\n! ===== adjoint (FormAD) =====");
+            print!("{}", render(&r.adjoint, &args.emit));
+            for (label, t) in [
+                ("serial", ParallelTreatment::Serial),
+                ("atomic", ParallelTreatment::Uniform(IncMode::Atomic)),
+                ("reduction", ParallelTreatment::Uniform(IncMode::Reduction)),
+            ] {
+                println!("\n! ===== adjoint ({label}) =====");
+                match tool.adjoint_with(&primal, t) {
+                    Ok(a) => print!("{}", render(&a, &args.emit)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Integration tests driving the `formad` binary end to end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn formad(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(args)
+        .output()
+        .expect("run formad");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("formad-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const FIG2_F: &str = r#"
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n + 7)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine
+"#;
+
+const FIG2_C: &str = r#"
+void fig2(int n, const double x[n + 7], double y[n], const int c[n]) {
+  int i;
+  #pragma omp parallel for shared(x, y, c)
+  for (i = 1; i <= n; i++) {
+    y[c[i]] = x[c[i] + 7];
+  }
+}
+"#;
+
+#[test]
+fn analyze_fortran_dialect() {
+    let f = write_temp("fig2.f90", FIG2_F);
+    let (out, _, ok) = formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert!(out.contains("adjoint of `x`: shared"), "{out}");
+    assert!(out.contains("adjoint of `y`: shared"), "{out}");
+}
+
+#[test]
+fn analyze_c_dialect() {
+    let f = write_temp("fig2.c", FIG2_C);
+    let (out, _, ok) = formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert!(out.contains("shared (no atomics needed)"), "{out}");
+}
+
+#[test]
+fn adjoint_output_is_the_paper_figure() {
+    let f = write_temp("fig2b.f90", FIG2_F);
+    let (out, _, ok) = formad(&["adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert!(out.contains("xb(c(i) + 7) = xb(c(i) + 7) + yb(c(i))"), "{out}");
+    assert!(out.contains("yb(c(i)) = 0.0"), "{out}");
+    assert!(!out.contains("atomic"), "{out}");
+}
+
+#[test]
+fn adjoint_modes() {
+    let f = write_temp("fig2c.f90", FIG2_F);
+    let (atomic, _, ok) = formad(&[
+        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "atomic",
+    ]);
+    assert!(ok);
+    assert!(atomic.contains("!$omp atomic"), "{atomic}");
+    let (serial, _, ok) = formad(&[
+        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "serial",
+    ]);
+    assert!(ok);
+    assert!(!serial.contains("!$omp"), "{serial}");
+    let (red, _, ok) = formad(&[
+        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "reduction",
+    ]);
+    assert!(ok);
+    assert!(red.contains("reduction(+: xb)"), "{red}");
+}
+
+#[test]
+fn table1_row_output() {
+    let f = write_temp("fig2d.f90", FIG2_F);
+    let (out, _, ok) = formad(&[
+        "analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--table1", "fig2",
+    ]);
+    assert!(ok);
+    assert!(out.contains("queries"), "{out}");
+    assert!(out.contains("fig2"), "{out}");
+}
+
+#[test]
+fn versions_prints_all_four() {
+    let f = write_temp("fig2e.f90", FIG2_F);
+    let (out, _, ok) = formad(&["versions", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    for label in ["FormAD", "serial", "atomic", "reduction"] {
+        assert!(out.contains(&format!("adjoint ({label})")) || out.contains("adjoint (FormAD)"),
+            "{label} missing:\n{out}");
+    }
+}
+
+#[test]
+fn emit_c_dialect() {
+    let f = write_temp("fig2h.f90", FIG2_F);
+    let (out, _, ok) = formad(&[
+        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--emit", "c",
+    ]);
+    assert!(ok);
+    assert!(out.contains("void fig2_b("), "{out}");
+    assert!(out.contains("xb[c[i] + 7] += yb[c[i]];"), "{out}");
+    assert!(out.contains("#pragma omp parallel for"), "{out}");
+    // Invalid dialect rejected.
+    let (_, err, ok) = formad(&[
+        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--emit", "rust",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown emit dialect"), "{err}");
+}
+
+#[test]
+fn usage_errors() {
+    let (_, err, ok) = formad(&["analyze"]);
+    assert!(!ok);
+    assert!(err.contains("usage"), "{err}");
+    let f = write_temp("fig2f.f90", FIG2_F);
+    let (_, err, ok) = formad(&["bogus", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+    let (_, err, ok) = formad(&["analyze", "/nonexistent/file.f90", "--wrt", "x", "--of", "y"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn parse_errors_reported() {
+    let f = write_temp("broken.f90", "subroutine broken(\n");
+    let (_, err, ok) = formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(!ok);
+    assert!(err.contains("parse error") || err.contains("expected"), "{err}");
+}
+
+#[test]
+fn ablation_flags_accepted() {
+    let f = write_temp("fig2g.f90", FIG2_F);
+    let (out, _, ok) = formad(&[
+        "analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y",
+        "--no-stride", "--no-increment",
+    ]);
+    assert!(ok);
+    assert!(out.contains("shared"), "{out}");
+}

@@ -1,0 +1,180 @@
+//! The FormAD pipeline: analysis → safeguard plan → adjoint generation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use formad_ad::{differentiate, AdError, AdjointOptions, IncMode, ParallelTreatment};
+use formad_analysis::Activity;
+use formad_ir::Program;
+
+use crate::region::{analyze_region, Decision, RegionAnalysis, RegionOptions};
+
+/// Options for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct FormadOptions {
+    /// Differentiation inputs.
+    pub independents: Vec<String>,
+    /// Differentiation outputs.
+    pub dependents: Vec<String>,
+    /// Region-analysis tunables (stride constraints, ablations, budget).
+    pub region: RegionOptions,
+}
+
+impl FormadOptions {
+    /// Conventional constructor.
+    pub fn new(independents: &[&str], dependents: &[&str]) -> FormadOptions {
+        FormadOptions {
+            independents: independents.iter().map(|s| s.to_string()).collect(),
+            dependents: dependents.iter().map(|s| s.to_string()).collect(),
+            region: RegionOptions::default(),
+        }
+    }
+}
+
+/// Whole-program analysis result: one report per parallel region plus the
+/// derived safeguard plan.
+#[derive(Debug)]
+pub struct FormadAnalysis {
+    /// Per-region reports, in pre-order.
+    pub regions: Vec<RegionAnalysis>,
+    /// The safeguard plan FormAD derived (Plain where proven, Atomic
+    /// elsewhere) — feed to [`Formad::adjoint_with`] or read directly.
+    pub plan: ParallelTreatment,
+}
+
+impl FormadAnalysis {
+    /// True if every analyzed adjoint array in every region is `Shared`.
+    pub fn all_safe(&self) -> bool {
+        self.regions.iter().all(|r| {
+            r.decisions
+                .values()
+                .all(|d| matches!(d, Decision::Shared))
+        })
+    }
+
+    /// Total prover queries across regions.
+    pub fn total_queries(&self) -> u64 {
+        self.regions.iter().map(|r| r.queries).sum()
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormadError {
+    pub message: String,
+}
+
+impl fmt::Display for FormadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formad: {}", self.message)
+    }
+}
+
+impl std::error::Error for FormadError {}
+
+impl From<AdError> for FormadError {
+    fn from(e: AdError) -> Self {
+        FormadError { message: e.message }
+    }
+}
+
+/// The FormAD tool: differentiates parallel-loop programs, using its
+/// theorem-prover analysis to avoid atomic updates wherever the primal's
+/// parallelization proves them unnecessary.
+///
+/// ```
+/// use formad::{Formad, FormadOptions};
+/// use formad_ir::parse_program;
+///
+/// let primal = parse_program(r#"
+/// subroutine fig2(n, x, y, c)
+///   integer, intent(in) :: n
+///   real, intent(in) :: x(n)
+///   real, intent(inout) :: y(n)
+///   integer, intent(in) :: c(n)
+///   integer :: i
+///   !$omp parallel do shared(x, y, c)
+///   do i = 1, n
+///     y(c(i)) = x(c(i) + 7)
+///   end do
+/// end subroutine
+/// "#).unwrap();
+/// let tool = Formad::new(FormadOptions::new(&["x"], &["y"]));
+/// let result = tool.differentiate(&primal).unwrap();
+/// assert!(result.analysis.all_safe()); // Figure 2: no atomics needed
+/// ```
+#[derive(Debug)]
+pub struct Formad {
+    /// Pipeline options.
+    pub options: FormadOptions,
+}
+
+/// Pipeline output: the adjoint program plus the analysis report.
+#[derive(Debug)]
+pub struct DiffResult {
+    /// Generated adjoint subroutine.
+    pub adjoint: Program,
+    /// The analysis that selected the safeguards.
+    pub analysis: FormadAnalysis,
+}
+
+impl Formad {
+    /// Create the tool.
+    pub fn new(options: FormadOptions) -> Formad {
+        Formad { options }
+    }
+
+    /// Run only the analysis (knowledge extraction + exploitation) and
+    /// derive the safeguard plan.
+    pub fn analyze(&self, primal: &Program) -> Result<FormadAnalysis, FormadError> {
+        formad_ir::validate_strict(primal)
+            .map_err(|e| FormadError { message: format!("invalid primal: {e}") })?;
+        let activity =
+            Activity::analyze(primal, &self.options.independents, &self.options.dependents);
+        let mut regions = Vec::new();
+        let mut maps: Vec<HashMap<String, IncMode>> = Vec::new();
+        for (k, l) in primal.parallel_loops().into_iter().enumerate() {
+            let ra = analyze_region(primal, l, k, &activity, &self.options.region);
+            let mut map = HashMap::new();
+            for (arr, d) in &ra.decisions {
+                map.insert(
+                    arr.clone(),
+                    match d {
+                        Decision::Shared => IncMode::Plain,
+                        Decision::Guarded(_) => IncMode::Atomic,
+                    },
+                );
+            }
+            maps.push(map);
+            regions.push(ra);
+        }
+        Ok(FormadAnalysis {
+            regions,
+            plan: ParallelTreatment::PerArray(maps),
+        })
+    }
+
+    /// Full pipeline: analysis + reverse-mode transformation with the
+    /// derived per-array plan (the paper's *Adjoint FormAD* version).
+    pub fn differentiate(&self, primal: &Program) -> Result<DiffResult, FormadError> {
+        let analysis = self.analyze(primal)?;
+        let adjoint = differentiate(primal, &self.ad_options(analysis.plan.clone()))?;
+        Ok(DiffResult { adjoint, analysis })
+    }
+
+    /// Generate an adjoint with an explicit treatment (the paper's
+    /// *Serial*, *Atomic*, and *Reduction* baseline versions).
+    pub fn adjoint_with(
+        &self,
+        primal: &Program,
+        treatment: ParallelTreatment,
+    ) -> Result<Program, FormadError> {
+        Ok(differentiate(primal, &self.ad_options(treatment))?)
+    }
+
+    fn ad_options(&self, treatment: ParallelTreatment) -> AdjointOptions {
+        let indep: Vec<&str> = self.options.independents.iter().map(|s| s.as_str()).collect();
+        let dep: Vec<&str> = self.options.dependents.iter().map(|s| s.as_str()).collect();
+        AdjointOptions::new(&indep, &dep, treatment)
+    }
+}

@@ -1,0 +1,486 @@
+//! Per-parallel-region analysis: knowledge extraction (§5, phase 1) and
+//! knowledge exploitation (§5, phase 2).
+//!
+//! **Extraction.** The primal parallel loop is assumed correctly
+//! parallelized, so for every pair of references to one array — at least
+//! one a write — the index tuples are disjoint across distinct iterations.
+//! Each such pair becomes an assertion `primed(w) ≠ e` in the knowledge
+//! base, attached to the innermost of the two references' contexts. After
+//! each context's model is assembled it is checked satisfiable, mirroring
+//! the `assert(model.check() == SAT)` safeguard of the paper's
+//! `buildModel`: an unsatisfiable knowledge base means the primal has a
+//! data race (or FormAD has a bug), and the whole region is demoted to
+//! guarded mode with a warning.
+//!
+//! **Exploitation.** For every active shared array the adjoint will
+//! touch, the candidate conflict pairs of its *adjoint* references are
+//! derived from the primal references (reads become increments, plain
+//! writes become read-then-zero, exact-increment writes become pure reads
+//! — §5.4). A pair is safe when asserting equality of its primed/unprimed
+//! index tuples is UNSAT under the knowledge usable at the pair's common
+//! context root. All pairs safe ⇒ the adjoint array is declared `shared`
+//! with no atomics.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use formad_analysis::{
+    collect_refs, AccessKind, Activity, ArrayRef, Cfg, Contexts, CtxId, IncRole, Instances,
+};
+use formad_ir::{count_stmts, Expr, ForLoop, Program, Stmt, Ty};
+use formad_smt::{Formula, SatResult, Solver, SolverBudget, Term};
+
+use crate::translate::{Taint, Translator};
+
+/// Decision for one adjoint array in one region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// All candidate conflicts proven absent: plain shared increments.
+    Shared,
+    /// At least one pair not provably disjoint: guard with atomics (or
+    /// privatize). The payload explains why.
+    Guarded(String),
+}
+
+/// Analysis output for one parallel region (one row of Table 1).
+#[derive(Debug)]
+pub struct RegionAnalysis {
+    /// Pre-order region index.
+    pub region: usize,
+    /// Parallel loop counter.
+    pub loop_var: String,
+    /// Statements inside the region (the paper's `loc` column).
+    pub loc: usize,
+    /// Assertions in the knowledge model including the root `i ≠ i'`
+    /// (the paper's "Z3 size" column, `1 + e²` in the benchmarks).
+    pub model_size: usize,
+    /// Distinct index-expression tuples entering the model (the paper's
+    /// `exprs` column).
+    pub unique_exprs: usize,
+    /// Theorem-prover checks issued (the paper's `queries` column).
+    pub queries: u64,
+    /// Wall time of the analysis.
+    pub time: Duration,
+    /// Per-array decisions for adjoint increments.
+    pub decisions: HashMap<String, Decision>,
+    /// Diagnostics (possible primal races, unguardable overwrites).
+    pub warnings: Vec<String>,
+    /// Rendered write-set expressions proven disjoint (for §7.3-style
+    /// reporting).
+    pub safe_write_exprs: Vec<String>,
+    /// First rejected adjoint expression per guarded array.
+    pub rejected_exprs: Vec<String>,
+}
+
+/// Tunables for the region analysis.
+#[derive(Debug, Clone)]
+pub struct RegionOptions {
+    /// Add `i = lo + step·k ∧ i' = lo + step·k' ∧ k ≠ k'` root assertions
+    /// encoding the loop's stride (needed for stride-2 loops when the
+    /// write-set knowledge alone is insufficient).
+    pub stride_constraints: bool,
+    /// Use control contexts (§5.1). Disabling is an ablation: all facts
+    /// land at the root context only if their references are root-context.
+    pub use_contexts: bool,
+    /// Use exact-increment detection (§5.4). Disabling is an ablation:
+    /// increment writes are treated like plain writes.
+    pub use_increment_detection: bool,
+    /// Solver budget per region.
+    pub budget: SolverBudget,
+}
+
+impl Default for RegionOptions {
+    fn default() -> Self {
+        RegionOptions {
+            stride_constraints: true,
+            use_contexts: true,
+            use_increment_detection: true,
+            budget: SolverBudget::default(),
+        }
+    }
+}
+
+/// One translated reference.
+struct TrRef {
+    terms: Vec<Term>,
+    ctx: CtxId,
+    kind: AccessKind,
+    inc: IncRole,
+}
+
+/// Analyze one parallel region of `prog`.
+pub fn analyze_region(
+    prog: &Program,
+    l: &ForLoop,
+    region: usize,
+    activity: &Activity,
+    opts: &RegionOptions,
+) -> RegionAnalysis {
+    let started = Instant::now();
+    let cfg = Cfg::build(&l.body);
+    let contexts = Contexts::build(&cfg);
+    let instances = Instances::analyze(&cfg);
+    let refs = collect_refs(&cfg);
+    let info = l.parallel.as_ref().expect("parallel region");
+
+    let mut out = RegionAnalysis {
+        region,
+        loop_var: l.var.clone(),
+        loc: count_stmts(&l.body),
+        model_size: 0,
+        unique_exprs: 0,
+        queries: 0,
+        time: Duration::ZERO,
+        decisions: HashMap::new(),
+        warnings: Vec::new(),
+        safe_write_exprs: Vec::new(),
+        rejected_exprs: Vec::new(),
+    };
+
+    // Written arrays and privatized scalars.
+    let written_arrays: HashSet<String> = refs
+        .iter()
+        .filter(|r| r.kind == AccessKind::Write)
+        .map(|r| r.array.clone())
+        .collect();
+    let mut privatized: HashSet<String> = info.private.iter().cloned().collect();
+    privatized.extend(info.reductions.iter().map(|(_, v)| v.clone()));
+    for s in &l.body {
+        s.walk(&mut |st| match st {
+            Stmt::Assign { lhs: formad_ir::LValue::Var(v), .. } => {
+                privatized.insert(v.clone());
+            }
+            Stmt::For(inner) => {
+                privatized.insert(inner.var.clone());
+            }
+            _ => {}
+        });
+    }
+
+    let tr = Translator {
+        instances: &instances,
+        counter: &l.var,
+        written_arrays: &written_arrays,
+        privatized: &privatized,
+    };
+
+    // Translate all references once; remember taints per array.
+    let mut by_array: HashMap<String, Vec<TrRef>> = HashMap::new();
+    let mut tainted_arrays: HashMap<String, String> = HashMap::new();
+    for r in &refs {
+        let ctx = contexts.ctx_of[r.node];
+        let ctx = if opts.use_contexts { ctx } else { contexts.root };
+        let inc = if opts.use_increment_detection {
+            r.inc
+        } else {
+            IncRole::None
+        };
+        match tr.tuple(&r.indices, r.node) {
+            Ok(terms) => {
+                by_array.entry(r.array.clone()).or_default().push(TrRef {
+                    terms,
+                    ctx,
+                    kind: r.kind,
+                    inc,
+                });
+            }
+            Err(taint) => {
+                tainted_arrays
+                    .entry(r.array.clone())
+                    .or_insert_with(|| taint_msg(&taint, r));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Root assertions.
+    // ------------------------------------------------------------------
+    let mut solver = Solver::with_budget(opts.budget);
+    let counter = Term::sym(l.var.clone());
+    let counter_p = tr.prime(&counter);
+    let mut roots: Vec<Formula> = Vec::new();
+    match Formula::term_ne(&counter, &counter_p, &mut solver.table) {
+        Ok(f) => roots.push(f),
+        Err(e) => out.warnings.push(format!("root assertion failed: {e}")),
+    }
+    out.model_size += 1;
+    if opts.stride_constraints {
+        if let Some(fs) = stride_formulas(&tr, l, &counter, &counter_p, &mut solver) {
+            roots.extend(fs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Knowledge extraction (phase 1).
+    // ------------------------------------------------------------------
+    // Facts: (site context, formula). Expressions dedup'd per array.
+    let mut facts: Vec<(CtxId, Formula)> = Vec::new();
+    let mut expr_set: HashSet<String> = HashSet::new();
+    for (array, trefs) in &by_array {
+        if tainted_arrays.contains_key(array) {
+            continue;
+        }
+        let has_write = trefs.iter().any(|r| r.kind == AccessKind::Write);
+        if !has_write {
+            continue;
+        }
+        // Unique (terms, ctx) for writes and for all refs.
+        let writes = dedup_refs(trefs.iter().filter(|r| r.kind == AccessKind::Write));
+        let all = dedup_refs(trefs.iter());
+        for (w_terms, w_ctx) in &writes {
+            expr_set.insert(render_tuple(w_terms));
+            out.safe_write_exprs.push(render_tuple(w_terms));
+            for (e_terms, e_ctx) in &all {
+                expr_set.insert(render_tuple(e_terms));
+                let Some(site) = contexts.knowledge_site(*w_ctx, *e_ctx) else {
+                    continue;
+                };
+                let wp = tr.prime_tuple(w_terms);
+                match Formula::tuple_ne(&wp, e_terms, &mut solver.table) {
+                    Ok(f) => {
+                        facts.push((site, f));
+                        out.model_size += 1;
+                    }
+                    Err(e) => out
+                        .warnings
+                        .push(format!("knowledge normalization failed: {e}")),
+                }
+            }
+        }
+    }
+    out.safe_write_exprs.sort();
+    out.safe_write_exprs.dedup();
+    out.unique_exprs = expr_set.len();
+
+    // buildModel satisfiability safeguard, per context (paper §5.5).
+    let mut race_detected = false;
+    for c in (0..contexts.count).map(|k| CtxId(k as u32)) {
+        solver.push();
+        for f in &roots {
+            solver.assert(f.clone());
+        }
+        for (site, f) in &facts {
+            if contexts.included(c, *site) {
+                solver.assert(f.clone());
+            }
+        }
+        let r = solver.check();
+        solver.pop();
+        if r == SatResult::Unsat {
+            race_detected = true;
+            out.warnings.push(format!(
+                "knowledge base for context {c:?} is unsatisfiable: the primal \
+                 parallel loop over `{}` appears to contain a data race",
+                l.var
+            ));
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Knowledge exploitation (phase 2).
+    // ------------------------------------------------------------------
+    // Candidate arrays: active real shared arrays referenced in the region
+    // (including arrays whose every reference failed to translate).
+    let mut candidates: Vec<String> = refs.iter().map(|r| r.array.clone()).collect();
+    candidates.sort();
+    candidates.dedup();
+    static EMPTY: Vec<TrRef> = Vec::new();
+    for array in &candidates {
+        let trefs = by_array.get(array).unwrap_or(&EMPTY);
+        if prog.ty_of(array) != Some(Ty::Real) {
+            continue;
+        }
+        if !activity.is_active(array) || info.is_privatized(array) {
+            continue;
+        }
+        if race_detected {
+            out.decisions.insert(
+                array.clone(),
+                Decision::Guarded("primal race suspected; all safeguards kept".into()),
+            );
+            continue;
+        }
+        if let Some(reason) = tainted_arrays.get(array) {
+            out.decisions
+                .insert(array.clone(), Decision::Guarded(reason.clone()));
+            continue;
+        }
+        // Adjoint reference sets derived from the primal ones (§5.4).
+        let mut q_writes: Vec<(Vec<Term>, CtxId, bool)> = Vec::new(); // bool: from overwrite
+        let mut q_reads: Vec<(Vec<Term>, CtxId)> = Vec::new();
+        for r in trefs {
+            match (r.kind, r.inc) {
+                // Primal read → adjoint increment (write).
+                (AccessKind::Read, IncRole::None) => {
+                    q_writes.push((r.terms.clone(), r.ctx, false));
+                }
+                // Self-read of an exact increment: covered by the write.
+                (AccessKind::Read, IncRole::IncrementRead) => {}
+                (AccessKind::Read, IncRole::IncrementWrite) => unreachable!(),
+                // Plain overwrite → adjoint reads then zeroes.
+                (AccessKind::Write, IncRole::None) => {
+                    q_writes.push((r.terms.clone(), r.ctx, true));
+                }
+                // Exact increment → adjoint only reads (§5.4).
+                (AccessKind::Write, IncRole::IncrementWrite) => {
+                    q_reads.push((r.terms.clone(), r.ctx));
+                }
+                (AccessKind::Write, IncRole::IncrementRead) => unreachable!(),
+            }
+        }
+        dedup_triples(&mut q_writes);
+        let mut q_all: Vec<(Vec<Term>, CtxId)> = q_writes
+            .iter()
+            .map(|(t, c, _)| (t.clone(), *c))
+            .chain(q_reads.iter().cloned())
+            .collect();
+        dedup_pairs(&mut q_all);
+
+        if q_writes.is_empty() {
+            // Adjoint only reads this array: trivially shared.
+            out.decisions.insert(array.clone(), Decision::Shared);
+            continue;
+        }
+
+        let mut verdict = Decision::Shared;
+        'pairs: for (w_terms, w_ctx, from_overwrite) in &q_writes {
+            for (e_terms, e_ctx) in &q_all {
+                let usable = contexts.usable_for(*w_ctx, *e_ctx);
+                solver.push();
+                for f in &roots {
+                    solver.assert(f.clone());
+                }
+                for (site, f) in &facts {
+                    if usable.contains(site) {
+                        solver.assert(f.clone());
+                    }
+                }
+                let wp = tr.prime_tuple(w_terms);
+                let q = match Formula::tuple_eq(&wp, e_terms, &mut solver.table) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        solver.pop();
+                        verdict =
+                            Decision::Guarded(format!("query normalization failed: {e}"));
+                        break 'pairs;
+                    }
+                };
+                solver.assert(q);
+                let r = solver.check();
+                solver.pop();
+                if r != SatResult::Unsat {
+                    // Report the expression outside the proven-safe write
+                    // set when possible (the paper's §7.3 presentation).
+                    let w_r = render_tuple(w_terms);
+                    let e_r = render_tuple(e_terms);
+                    let rej = if !out.safe_write_exprs.contains(&e_r) {
+                        e_r.clone()
+                    } else if !out.safe_write_exprs.contains(&w_r) {
+                        w_r.clone()
+                    } else {
+                        e_r.clone()
+                    };
+                    out.rejected_exprs.push(rej.clone());
+                    if *from_overwrite {
+                        out.warnings.push(format!(
+                            "adjoint of `{array}` has a potentially conflicting \
+                             overwrite at ({rej}); atomics cannot guard overwrites — \
+                             treat this region's adjoint as requiring privatization \
+                             or serialization"
+                        ));
+                    }
+                    verdict = Decision::Guarded(format!(
+                        "cannot prove ({}) disjoint from ({})",
+                        rej,
+                        render_tuple(e_terms)
+                    ));
+                    break 'pairs;
+                }
+            }
+        }
+        out.decisions.insert(array.clone(), verdict);
+    }
+
+    out.queries = solver.stats.checks;
+    out.time = started.elapsed();
+    out
+}
+
+fn dedup_refs<'a>(iter: impl Iterator<Item = &'a TrRef>) -> Vec<(Vec<Term>, CtxId)> {
+    let mut v: Vec<(Vec<Term>, CtxId)> = iter.map(|r| (r.terms.clone(), r.ctx)).collect();
+    dedup_pairs(&mut v);
+    v
+}
+
+fn dedup_pairs(v: &mut Vec<(Vec<Term>, CtxId)>) {
+    let mut seen = HashSet::new();
+    v.retain(|(t, c)| seen.insert((render_tuple(t), *c)));
+}
+
+fn dedup_triples(v: &mut Vec<(Vec<Term>, CtxId, bool)>) {
+    let mut seen = HashSet::new();
+    v.retain(|(t, c, b)| seen.insert((render_tuple(t), *c, *b)));
+}
+
+fn render_tuple(ts: &[Term]) -> String {
+    let parts: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+    parts.join(", ")
+}
+
+fn taint_msg(t: &Taint, r: &ArrayRef) -> String {
+    match t {
+        Taint::MutatedIndexArray(a) => format!(
+            "index of `{}` reads array `{a}` which is written in the region",
+            r.array
+        ),
+        Taint::NonInteger(w) => format!("index of `{}` is not integral: {w}", r.array),
+    }
+}
+
+/// Root stride assertions `i = lo + step·k`, `i' = lo + step·k'`, `k ≠ k'`
+/// (plus `k ≥ 0`, `k' ≥ 0`), when the loop bounds are translatable and
+/// loop-invariant.
+fn stride_formulas(
+    tr: &Translator<'_>,
+    l: &ForLoop,
+    counter: &Term,
+    counter_p: &Term,
+    solver: &mut Solver,
+) -> Option<Vec<Formula>> {
+    // Only worthwhile for non-unit strides.
+    if l.step == Expr::IntLit(1) {
+        return None;
+    }
+    let entry = formad_analysis::ENTRY;
+    let lo = tr.term(&l.lo, entry).ok()?;
+    let step = tr.term(&l.step, entry).ok()?;
+    // Bail out if the bounds reference privatized variables (their value
+    // would differ per thread, invalidating the shared `lo`/`step` terms).
+    if tr.prime(&lo) != lo || tr.prime(&step) != step {
+        return None;
+    }
+    let k = Term::sym("k$");
+    let kp = Term::sym("k$'");
+    let mut fs = Vec::new();
+    fs.push(
+        Formula::term_eq(
+            counter,
+            &(lo.clone() + step.clone() * k.clone()),
+            &mut solver.table,
+        )
+        .ok()?,
+    );
+    fs.push(
+        Formula::term_eq(counter_p, &(lo + step * kp.clone()), &mut solver.table).ok()?,
+    );
+    fs.push(Formula::term_ne(&k, &kp, &mut solver.table).ok()?);
+    // k ≥ 0 on both ranks.
+    for kk in [k, kp] {
+        fs.push(Formula::Lit(formad_smt::Literal::le(
+            formad_smt::LinExpr::constant(0),
+            formad_smt::normalize(&kk, &mut solver.table).ok()?,
+        )));
+    }
+    Some(fs)
+}

@@ -1,0 +1,418 @@
+//! Hand-written lexer for the Fortran-like surface syntax.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+/// Token kinds. Keywords are lexed as `Ident` and classified by the parser,
+/// except the dotted operators (`.and.`, `.ne.`, ...) which are lexed
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    /// `!$omp ...` pragma line, contents after `!$omp`, trimmed.
+    Pragma(String),
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    DoubleColon,
+    Assign,
+    // comparisons
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    /// End of a logical line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokKind::Int(v) => write!(f, "integer `{v}`"),
+            TokKind::Real(v) => write!(f, "real `{v}`"),
+            TokKind::Pragma(p) => write!(f, "pragma `!$omp {p}`"),
+            TokKind::Plus => write!(f, "`+`"),
+            TokKind::Minus => write!(f, "`-`"),
+            TokKind::Star => write!(f, "`*`"),
+            TokKind::DoubleStar => write!(f, "`**`"),
+            TokKind::Slash => write!(f, "`/`"),
+            TokKind::LParen => write!(f, "`(`"),
+            TokKind::RParen => write!(f, "`)`"),
+            TokKind::Comma => write!(f, "`,`"),
+            TokKind::Colon => write!(f, "`:`"),
+            TokKind::DoubleColon => write!(f, "`::`"),
+            TokKind::Assign => write!(f, "`=`"),
+            TokKind::Eq => write!(f, "`.eq.`"),
+            TokKind::Ne => write!(f, "`.ne.`"),
+            TokKind::Lt => write!(f, "`.lt.`"),
+            TokKind::Le => write!(f, "`.le.`"),
+            TokKind::Gt => write!(f, "`.gt.`"),
+            TokKind::Ge => write!(f, "`.ge.`"),
+            TokKind::And => write!(f, "`.and.`"),
+            TokKind::Or => write!(f, "`.or.`"),
+            TokKind::Not => write!(f, "`.not.`"),
+            TokKind::Newline => write!(f, "end of line"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexer error with line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a whole source string.
+///
+/// Comments start with `!` (except `!$omp` pragmas, which become
+/// [`TokKind::Pragma`]) and run to end of line. Consecutive newlines are
+/// collapsed into one `Newline` token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let push = |kind: TokKind, line: u32, toks: &mut Vec<Token>| {
+        if kind == TokKind::Newline
+            && matches!(
+                toks.last().map(|t| &t.kind),
+                None | Some(TokKind::Newline) | Some(TokKind::Pragma(_))
+            ) {
+                return;
+            }
+        toks.push(Token { kind, line });
+    };
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                push(TokKind::Newline, line, &mut toks);
+                line += 1;
+                i += 1;
+            }
+            '!' => {
+                // Pragma or comment: consume to end of line.
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let lower = text.to_ascii_lowercase();
+                if let Some(rest) = lower.strip_prefix("!$omp") {
+                    // Terminate any in-progress statement first.
+                    push(TokKind::Newline, line, &mut toks);
+                    toks.push(Token {
+                        kind: TokKind::Pragma(rest.trim().to_string()),
+                        line,
+                    });
+                }
+                // Plain comments are skipped entirely.
+            }
+            '+' => {
+                push(TokKind::Plus, line, &mut toks);
+                i += 1;
+            }
+            '-' => {
+                push(TokKind::Minus, line, &mut toks);
+                i += 1;
+            }
+            '*' => {
+                if i + 1 < n && bytes[i + 1] == b'*' {
+                    push(TokKind::DoubleStar, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Star, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push(TokKind::Ne, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Slash, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(TokKind::LParen, line, &mut toks);
+                i += 1;
+            }
+            ')' => {
+                push(TokKind::RParen, line, &mut toks);
+                i += 1;
+            }
+            ',' => {
+                push(TokKind::Comma, line, &mut toks);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == b':' {
+                    push(TokKind::DoubleColon, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Colon, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push(TokKind::Eq, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Assign, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push(TokKind::Le, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Lt, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push(TokKind::Ge, line, &mut toks);
+                    i += 2;
+                } else {
+                    push(TokKind::Gt, line, &mut toks);
+                    i += 1;
+                }
+            }
+            '.' => {
+                // Either a dotted operator (.and., .ne., ...) or a real
+                // literal like `.5` (we require a leading digit, so `.5` is
+                // rejected; Fortran programmers write `0.5`).
+                let rest = &src[i..];
+                let dotted: &[(&str, TokKind)] = &[
+                    (".and.", TokKind::And),
+                    (".or.", TokKind::Or),
+                    (".not.", TokKind::Not),
+                    (".eq.", TokKind::Eq),
+                    (".ne.", TokKind::Ne),
+                    (".lt.", TokKind::Lt),
+                    (".le.", TokKind::Le),
+                    (".gt.", TokKind::Gt),
+                    (".ge.", TokKind::Ge),
+                ];
+                let lower = rest.to_ascii_lowercase();
+                let mut matched = false;
+                for (pat, kind) in dotted {
+                    if lower.starts_with(pat) {
+                        push(kind.clone(), line, &mut toks);
+                        i += pat.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected character `.` (context: {:.10})", rest),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_real = false;
+                // Fractional part — but not if the dot starts a dotted
+                // operator like `1.and.`.
+                if i < n && bytes[i] == b'.' {
+                    let after = i + 1;
+                    let next_is_digit = after < n && (bytes[after] as char).is_ascii_digit();
+                    let next_is_alpha = after < n && (bytes[after] as char).is_ascii_alphabetic();
+                    if next_is_digit || !next_is_alpha {
+                        is_real = true;
+                        i += 1;
+                        while i < n && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent part.
+                if i < n && (bytes[i] == b'e' || bytes[i] == b'E' || bytes[i] == b'd' || bytes[i] == b'D')
+                {
+                    let mut j = i + 1;
+                    if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < n && (bytes[j] as char).is_ascii_digit() {
+                        is_real = true;
+                        i = j;
+                        while i < n && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = src[start..i].replace(['d', 'D'], "e");
+                if is_real {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad real literal `{text}`"),
+                    })?;
+                    push(TokKind::Real(v), line, &mut toks);
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    push(TokKind::Int(v), line, &mut toks);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = src[start..i].to_string();
+                push(TokKind::Ident(word), line, &mut toks);
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    push(TokKind::Newline, line, &mut toks);
+    toks.push(Token {
+        kind: TokKind::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("u(i) = a*v + 1.5");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("u".into()),
+                TokKind::LParen,
+                TokKind::Ident("i".into()),
+                TokKind::RParen,
+                TokKind::Assign,
+                TokKind::Ident("a".into()),
+                TokKind::Star,
+                TokKind::Ident("v".into()),
+                TokKind::Plus,
+                TokKind::Real(1.5),
+                TokKind::Newline,
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_ops_and_symbols() {
+        let k = kinds("i .ne. j .and. i<=n .or. a/=b");
+        assert!(k.contains(&TokKind::Ne));
+        assert!(k.contains(&TokKind::And));
+        assert!(k.contains(&TokKind::Le));
+        assert!(k.contains(&TokKind::Or));
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Ne).count(), 2);
+    }
+
+    #[test]
+    fn pragma_lexed_comment_skipped() {
+        let k = kinds("x = 1 ! trailing comment\n!$omp parallel do shared(u)\ndo i = 1, n");
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokKind::Pragma(p) if p == "parallel do shared(u)")));
+        // the comment text is gone
+        assert!(!k.iter().any(|t| matches!(t, TokKind::Ident(s) if s == "trailing")));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokKind::Real(4.25));
+        assert_eq!(kinds("1e3")[0], TokKind::Real(1000.0));
+        assert_eq!(kinds("0.5d0")[0], TokKind::Real(0.5));
+        assert_eq!(kinds("2.")[0], TokKind::Real(2.0));
+    }
+
+    #[test]
+    fn integer_followed_by_dotted_op() {
+        let k = kinds("if (i .eq. 1.and.j .eq. 2) then");
+        // `1.and.` must lex as Int(1), And — not Real.
+        assert!(k.contains(&TokKind::Int(1)));
+        assert_eq!(k.iter().filter(|t| **t == TokKind::And).count(), 1);
+    }
+
+    #[test]
+    fn double_star_and_double_colon() {
+        let k = kinds("real :: x\ny = x**2");
+        assert!(k.contains(&TokKind::DoubleColon));
+        assert!(k.contains(&TokKind::DoubleStar));
+    }
+
+    #[test]
+    fn newline_collapse() {
+        let k = kinds("a = 1\n\n\nb = 2");
+        let nl = k.iter().filter(|t| **t == TokKind::Newline).count();
+        assert_eq!(nl, 2);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(lex("a = #").is_err());
+    }
+}

@@ -1,0 +1,850 @@
+//! Recursive-descent parser for the Fortran-like surface syntax.
+
+use std::fmt;
+
+use crate::expr::{BinOp, BoolExpr, CmpOp, Expr, Intrinsic, UnOp};
+use crate::lexer::{lex, LexError, TokKind, Token};
+use crate::program::{Decl, Program};
+use crate::stmt::{ForLoop, LValue, ParallelInfo, RedOp, Stmt};
+use crate::types::{Intent, Ty};
+
+/// Parse error with a source line and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a complete subroutine from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.skip_newlines();
+    let prog = p.program()?;
+    p.skip_newlines();
+    p.expect_eof()?;
+    Ok(prog)
+}
+
+/// Parse a single expression (used by tests and tools).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == TokKind::Eof {
+            Ok(())
+        } else {
+            self.err(format!("expected end of input, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while *self.peek() == TokKind::Newline {
+            self.bump();
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokKind::Newline | TokKind::Eof) {
+            self.skip_newlines();
+            Ok(())
+        } else {
+            self.err(format!("expected end of line, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// True if the current token is the identifier `word` (case-insensitive).
+    fn at_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), TokKind::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+
+    fn eat_kw(&mut self, word: &str) -> bool {
+        if self.at_kw(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_kw(word) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{word}`, found {}", self.peek()))
+        }
+    }
+
+    // ---- program & declarations ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.expect_kw("subroutine")?;
+        let name = self.ident()?;
+        let mut param_names = Vec::new();
+        self.expect(TokKind::LParen)?;
+        if !self.eat(&TokKind::RParen) {
+            loop {
+                param_names.push(self.ident()?);
+                if self.eat(&TokKind::RParen) {
+                    break;
+                }
+                self.expect(TokKind::Comma)?;
+            }
+        }
+        self.expect_newline()?;
+
+        // Declarations.
+        let mut params: Vec<Option<Decl>> = vec![None; param_names.len()];
+        let mut locals = Vec::new();
+        while self.at_kw("real") || self.at_kw("integer") {
+            for d in self.decl_line()? {
+                if let Some(k) = param_names.iter().position(|p| *p == d.name) {
+                    if params[k].is_some() {
+                        return self.err(format!("duplicate declaration of `{}`", d.name));
+                    }
+                    params[k] = Some(d);
+                } else {
+                    let mut d = d;
+                    d.is_local = true;
+                    locals.push(d);
+                }
+            }
+            self.expect_newline()?;
+        }
+        for (k, d) in params.iter().enumerate() {
+            if d.is_none() {
+                return self.err(format!("parameter `{}` is never declared", param_names[k]));
+            }
+        }
+        let params = params.into_iter().map(|d| d.unwrap()).collect();
+
+        let body = self.stmts_until(&["end"])?;
+        self.expect_kw("end")?;
+        self.expect_kw("subroutine")?;
+        // optional trailing name
+        if let TokKind::Ident(_) = self.peek() {
+            self.bump();
+        }
+        self.expect_newline()?;
+        Ok(Program {
+            name,
+            params,
+            locals,
+            body,
+        })
+    }
+
+    fn decl_line(&mut self) -> Result<Vec<Decl>, ParseError> {
+        let ty = if self.eat_kw("real") {
+            Ty::Real
+        } else {
+            self.expect_kw("integer")?;
+            Ty::Int
+        };
+        let mut intent = None;
+        let mut is_param = false;
+        if self.eat(&TokKind::Comma) {
+            self.expect_kw("intent")?;
+            self.expect(TokKind::LParen)?;
+            let word = self.ident()?;
+            intent = Some(match word.to_ascii_lowercase().as_str() {
+                "in" => Intent::In,
+                "out" => Intent::Out,
+                "inout" => Intent::InOut,
+                other => return self.err(format!("unknown intent `{other}`")),
+            });
+            is_param = true;
+            self.expect(TokKind::RParen)?;
+        }
+        self.expect(TokKind::DoubleColon)?;
+        let mut decls = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mut dims = Vec::new();
+            if self.eat(&TokKind::LParen) {
+                loop {
+                    dims.push(self.expr()?);
+                    if self.eat(&TokKind::RParen) {
+                        break;
+                    }
+                    self.expect(TokKind::Comma)?;
+                }
+            }
+            decls.push(Decl {
+                name,
+                ty,
+                dims,
+                intent: intent.unwrap_or(Intent::InOut),
+                is_local: !is_param,
+            });
+            if !self.eat(&TokKind::Comma) {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    // ---- statements ----
+
+    /// Parse statements until one of the stopper keywords (not consumed).
+    fn stmts_until(&mut self, stoppers: &[&str]) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if stoppers.iter().any(|s| self.at_kw(s)) || *self.peek() == TokKind::Eof {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if let TokKind::Pragma(p) = self.peek().clone() {
+            self.bump();
+            return self.pragma_stmt(&p);
+        }
+        if self.at_kw("if") {
+            return self.if_stmt();
+        }
+        if self.at_kw("do") {
+            return self.do_stmt(None);
+        }
+        if self.at_kw("call") {
+            return self.call_stmt();
+        }
+        // assignment
+        let lv = self.lvalue()?;
+        self.expect(TokKind::Assign)?;
+        let rhs = self.expr()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign { lhs: lv, rhs })
+    }
+
+    fn pragma_stmt(&mut self, pragma: &str) -> Result<Stmt, ParseError> {
+        let p = pragma.trim().to_ascii_lowercase();
+        if p == "atomic" {
+            // The next statement must be an increment; re-express it as
+            // AtomicAdd.
+            self.skip_newlines();
+            let lv = self.lvalue()?;
+            self.expect(TokKind::Assign)?;
+            let rhs = self.expr()?;
+            self.expect_newline()?;
+            let stmt = Stmt::Assign { lhs: lv, rhs };
+            match stmt.as_increment() {
+                Some((lhs, added)) => Ok(Stmt::AtomicAdd {
+                    lhs: lhs.clone(),
+                    rhs: added,
+                }),
+                None => self.err("!$omp atomic must be followed by an increment statement"),
+            }
+        } else if p.starts_with("parallel do") {
+            let info = parse_parallel_clauses(&pragma["parallel do".len()..]).map_err(|m| {
+                ParseError {
+                    line: self.line(),
+                    message: m,
+                }
+            })?;
+            self.skip_newlines();
+            if !self.at_kw("do") {
+                return self.err("`!$omp parallel do` must be followed by a do loop");
+            }
+            self.do_stmt(Some(info))
+        } else {
+            self.err(format!("unsupported pragma `!$omp {pragma}`"))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("if")?;
+        self.expect(TokKind::LParen)?;
+        let cond = self.bool_expr()?;
+        self.expect(TokKind::RParen)?;
+        self.expect_kw("then")?;
+        self.expect_newline()?;
+        let then_body = self.stmts_until(&["else", "end"])?;
+        let else_body = if self.eat_kw("else") {
+            self.expect_newline()?;
+            self.stmts_until(&["end"])?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("end")?;
+        self.expect_kw("if")?;
+        self.expect_newline()?;
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn do_stmt(&mut self, parallel: Option<ParallelInfo>) -> Result<Stmt, ParseError> {
+        self.expect_kw("do")?;
+        let var = self.ident()?;
+        self.expect(TokKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(TokKind::Comma)?;
+        let hi = self.expr()?;
+        let step = if self.eat(&TokKind::Comma) {
+            self.expr()?
+        } else {
+            Expr::IntLit(1)
+        };
+        self.expect_newline()?;
+        let body = self.stmts_until(&["end"])?;
+        self.expect_kw("end")?;
+        self.expect_kw("do")?;
+        self.expect_newline()?;
+        Ok(Stmt::For(Box::new(ForLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            parallel,
+        })))
+    }
+
+    fn call_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("call")?;
+        let name = self.ident()?.to_ascii_lowercase();
+        self.expect(TokKind::LParen)?;
+        let stmt = match name.as_str() {
+            "push" => {
+                let e = self.expr()?;
+                Stmt::Push(e)
+            }
+            "pop" => {
+                let lv = self.lvalue()?;
+                Stmt::Pop(lv)
+            }
+            other => return self.err(format!("unknown call target `{other}`")),
+        };
+        self.expect(TokKind::RParen)?;
+        self.expect_newline()?;
+        Ok(stmt)
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.ident()?;
+        if self.eat(&TokKind::LParen) {
+            let mut indices = Vec::new();
+            loop {
+                indices.push(self.expr()?);
+                if self.eat(&TokKind::RParen) {
+                    break;
+                }
+                self.expect(TokKind::Comma)?;
+            }
+            Ok(LValue::Index {
+                array: name,
+                indices,
+            })
+        } else {
+            Ok(LValue::Var(name))
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.add_expr()
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => BinOp::Add,
+                TokKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Star => BinOp::Mul,
+                TokKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokKind::Minus) {
+            let arg = self.unary_expr()?;
+            // Fold negated literals so `-1` is a literal, keeping parsed
+            // and programmatically-built trees structurally identical.
+            return Ok(match arg {
+                Expr::IntLit(v) => Expr::IntLit(-v),
+                Expr::RealLit(v) => Expr::RealLit(-v),
+                other => Expr::Unary {
+                    op: UnOp::Neg,
+                    arg: Box::new(other),
+                },
+            });
+        }
+        if self.eat(&TokKind::Plus) {
+            return self.unary_expr();
+        }
+        self.pow_expr()
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.primary_expr()?;
+        if self.eat(&TokKind::DoubleStar) {
+            // `**` is right-associative.
+            let exp = self.unary_expr()?;
+            return Ok(Expr::binary(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            TokKind::Real(v) => {
+                self.bump();
+                Ok(Expr::RealLit(v))
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokKind::LParen) {
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&TokKind::RParen) {
+                            break;
+                        }
+                        self.expect(TokKind::Comma)?;
+                    }
+                    let lname = name.to_ascii_lowercase();
+                    if lname == "mod" {
+                        if args.len() != 2 {
+                            return self.err("mod takes exactly 2 arguments");
+                        }
+                        let mut it = args.into_iter();
+                        let a = it.next().unwrap();
+                        let b = it.next().unwrap();
+                        return Ok(Expr::binary(BinOp::Mod, a, b));
+                    }
+                    if let Some(f) = Intrinsic::from_name(&lname) {
+                        if args.len() != f.arity() {
+                            return self.err(format!(
+                                "intrinsic {} takes {} arguments, got {}",
+                                f.name(),
+                                f.arity(),
+                                args.len()
+                            ));
+                        }
+                        return Ok(Expr::Call { func: f, args });
+                    }
+                    Ok(Expr::Index {
+                        array: name,
+                        indices: args,
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    // ---- boolean expressions ----
+
+    fn bool_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_and()?;
+        while self.eat(&TokKind::Or) {
+            let rhs = self.bool_and()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_and(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_not()?;
+        while self.eat(&TokKind::And) {
+            let rhs = self.bool_not()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_not(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.eat(&TokKind::Not) {
+            let inner = self.bool_not()?;
+            return Ok(BoolExpr::Not(Box::new(inner)));
+        }
+        self.bool_primary()
+    }
+
+    fn bool_primary(&mut self) -> Result<BoolExpr, ParseError> {
+        // Disambiguate `(boolexpr)` from `(arith) cmp arith` by
+        // backtracking: first try a comparison.
+        let save = self.pos;
+        match self.try_cmp() {
+            Ok(c) => Ok(c),
+            Err(first_err) => {
+                self.pos = save;
+                if self.eat(&TokKind::LParen) {
+                    let inner = self.bool_expr()?;
+                    self.expect(TokKind::RParen)?;
+                    Ok(inner)
+                } else {
+                    Err(first_err)
+                }
+            }
+        }
+    }
+
+    fn try_cmp(&mut self) -> Result<BoolExpr, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokKind::Eq => CmpOp::Eq,
+            TokKind::Ne => CmpOp::Ne,
+            TokKind::Lt => CmpOp::Lt,
+            TokKind::Le => CmpOp::Le,
+            TokKind::Gt => CmpOp::Gt,
+            TokKind::Ge => CmpOp::Ge,
+            other => {
+                return self.err(format!("expected comparison operator, found {other}"));
+            }
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(BoolExpr::Cmp { op, lhs, rhs })
+    }
+}
+
+/// Parse the clause list of a `parallel do` pragma:
+/// `shared(a, b) private(c) reduction(+: x)`.
+fn parse_parallel_clauses(text: &str) -> Result<ParallelInfo, String> {
+    let mut info = ParallelInfo::default();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let open = rest
+            .find('(')
+            .ok_or_else(|| format!("malformed pragma clause near `{rest}`"))?;
+        let name = rest[..open].trim().to_ascii_lowercase();
+        let close = rest[open..]
+            .find(')')
+            .ok_or_else(|| format!("unterminated clause `{name}`"))?
+            + open;
+        let args = &rest[open + 1..close];
+        match name.as_str() {
+            "shared" => {
+                info.shared
+                    .extend(args.split(',').map(|s| s.trim().to_string()));
+            }
+            "private" => {
+                info.private
+                    .extend(args.split(',').map(|s| s.trim().to_string()));
+            }
+            "reduction" => {
+                let (op, vars) = args
+                    .split_once(':')
+                    .ok_or_else(|| "reduction clause needs `op: vars`".to_string())?;
+                let op = match op.trim() {
+                    "+" => RedOp::Add,
+                    "*" => RedOp::Mul,
+                    "min" => RedOp::Min,
+                    "max" => RedOp::Max,
+                    other => return Err(format!("unknown reduction operator `{other}`")),
+                };
+                for v in vars.split(',') {
+                    info.reductions.push((op, v.trim().to_string()));
+                }
+            }
+            other => return Err(format!("unknown pragma clause `{other}`")),
+        }
+        rest = rest[close + 1..].trim();
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = r#"
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine
+"#;
+
+    #[test]
+    fn parses_fig2() {
+        let p = parse_program(FIG2).unwrap();
+        assert_eq!(p.name, "fig2");
+        assert_eq!(p.params.len(), 4);
+        assert_eq!(p.locals.len(), 1);
+        assert_eq!(p.parallel_loop_count(), 1);
+        let loops = p.parallel_loops();
+        let info = loops[0].parallel.as_ref().unwrap();
+        assert_eq!(info.shared, vec!["x", "y", "c"]);
+    }
+
+    #[test]
+    fn expr_precedence() {
+        assert_eq!(
+            parse_expr("a + b * c").unwrap(),
+            Expr::var("a") + Expr::var("b") * Expr::var("c")
+        );
+        assert_eq!(
+            parse_expr("(a + b) * c").unwrap(),
+            (Expr::var("a") + Expr::var("b")) * Expr::var("c")
+        );
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul() {
+        let e = parse_expr("-a * b").unwrap();
+        // parses as (-a) * b
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn pow_right_assoc() {
+        let e = parse_expr("a ** b ** c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Pow, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrinsics_vs_array_refs() {
+        let e = parse_expr("sin(x) + u(i)").unwrap();
+        match e {
+            Expr::Binary { lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Expr::Call { .. }));
+                assert!(matches!(*rhs, Expr::Index { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mod_parses_to_binop() {
+        let e = parse_expr("mod(i, 2)").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mod, .. }));
+    }
+
+    #[test]
+    fn if_else_and_bool_ops() {
+        let src = r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i, j
+  do i = 1, n
+    if (i .ne. j .and. (i .lt. n .or. .not. j .ge. 2)) then
+      u(i) = 1.0
+    else
+      u(i) = 2.0
+    end if
+  end do
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        let Stmt::For(l) = &p.body[0] else { panic!() };
+        let Stmt::If { cond, else_body, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert!(matches!(cond, BoolExpr::And(_, _)));
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn do_loop_with_step() {
+        let src = r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i
+  do i = 2, n - 2, 2
+    u(i) = 0.0
+  end do
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        let Stmt::For(l) = &p.body[0] else { panic!() };
+        assert_eq!(l.step, Expr::IntLit(2));
+        assert_eq!(l.hi, Expr::var("n") - Expr::int(2));
+    }
+
+    #[test]
+    fn reduction_clause() {
+        let info = parse_parallel_clauses(" shared(u) reduction(+: s, t) private(w)").unwrap();
+        assert_eq!(info.shared, vec!["u"]);
+        assert_eq!(info.private, vec!["w"]);
+        assert_eq!(info.reductions.len(), 2);
+        assert_eq!(info.reductions[0], (RedOp::Add, "s".to_string()));
+    }
+
+    #[test]
+    fn atomic_pragma_becomes_atomic_add() {
+        let src = r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i
+  do i = 1, n
+    !$omp atomic
+    u(i) = u(i) + 1.0
+  end do
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        let Stmt::For(l) = &p.body[0] else { panic!() };
+        assert!(matches!(l.body[0], Stmt::AtomicAdd { .. }));
+    }
+
+    #[test]
+    fn push_pop_calls() {
+        let src = r#"
+subroutine t(n, u)
+  integer, intent(in) :: n
+  real, intent(inout) :: u(n)
+  integer :: i
+  do i = 1, n
+    call push(u(i))
+    u(i) = 0.0
+    call pop(u(i))
+  end do
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        let Stmt::For(l) = &p.body[0] else { panic!() };
+        assert!(matches!(l.body[0], Stmt::Push(_)));
+        assert!(matches!(l.body[2], Stmt::Pop(_)));
+    }
+
+    #[test]
+    fn undeclared_parameter_rejected() {
+        let src = "subroutine t(n)\nend subroutine\n";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn multi_var_decl_line() {
+        let src = r#"
+subroutine t(n)
+  integer, intent(in) :: n
+  integer :: i, j, k
+end subroutine
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.locals.len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Scalar types and parameter intents of the loop language.
+
+use std::fmt;
+
+/// Scalar element type of a variable or array.
+///
+/// The language is deliberately small: `Real` maps to `f64` at execution
+/// time, `Int` to `i64`. Only `Real` data is differentiable; `Int` data can
+/// still contribute index *knowledge* to the FormAD analysis (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Double-precision floating point (`real` in the surface syntax).
+    Real,
+    /// 64-bit signed integer (`integer` in the surface syntax).
+    Int,
+}
+
+impl Ty {
+    /// Whether values of this type can carry derivatives.
+    pub fn is_differentiable(self) -> bool {
+        matches!(self, Ty::Real)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Real => write!(f, "real"),
+            Ty::Int => write!(f, "integer"),
+        }
+    }
+}
+
+/// Dataflow intent of a subroutine parameter, mirroring Fortran's
+/// `intent(in|out|inout)` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intent {
+    /// Read-only input.
+    In,
+    /// Write-only output (initial value unspecified).
+    Out,
+    /// Read and written.
+    InOut,
+}
+
+impl Intent {
+    /// True if the parameter's value on entry is observable.
+    pub fn is_input(self) -> bool {
+        matches!(self, Intent::In | Intent::InOut)
+    }
+
+    /// True if the parameter's value on exit is observable.
+    pub fn is_output(self) -> bool {
+        matches!(self, Intent::Out | Intent::InOut)
+    }
+}
+
+impl fmt::Display for Intent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intent::In => write!(f, "intent(in)"),
+            Intent::Out => write!(f, "intent(out)"),
+            Intent::InOut => write!(f, "intent(inout)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_is_differentiable_int_is_not() {
+        assert!(Ty::Real.is_differentiable());
+        assert!(!Ty::Int.is_differentiable());
+    }
+
+    #[test]
+    fn intent_directions() {
+        assert!(Intent::In.is_input());
+        assert!(!Intent::In.is_output());
+        assert!(!Intent::Out.is_input());
+        assert!(Intent::Out.is_output());
+        assert!(Intent::InOut.is_input());
+        assert!(Intent::InOut.is_output());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::Real.to_string(), "real");
+        assert_eq!(Ty::Int.to_string(), "integer");
+        assert_eq!(Intent::InOut.to_string(), "intent(inout)");
+    }
+}

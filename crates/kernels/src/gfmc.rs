@@ -1,0 +1,225 @@
+//! Green's function Monte Carlo kernel (paper §7.2, CORAL suite).
+//!
+//! Two program variants:
+//!
+//! - **GFMC** (split): the *spin exchange* runs in its own parallel loop
+//!   with a data-dependent inner trip count (large load imbalance), and
+//!   the *spin flip* in a second, regular parallel loop. FormAD proves the
+//!   exchange's adjoint increments to `cr` safe from the disjointness of
+//!   the `cl` writes at the same gathered indices.
+//! - **GFMC\*** (fused, the original): both parts share one parallel
+//!   loop, and the exchange also reads `cr` through a second gather table
+//!   (`msx`) whose relationship to the write set is invisible to static
+//!   analysis — FormAD must keep every increment to `cr`'s adjoint
+//!   guarded, exactly the paper's negative case. (Our `msx` secretly
+//!   aliases rows of the iteration's own `mss` group, so the primal is
+//!   race-free and deterministic; the analysis cannot know that.)
+
+use formad_ir::{parse_program, Program};
+use formad_machine::Bindings;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Configuration of one GFMC experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct GfmcCase {
+    /// Number of spin states (rows/cols of `cl`, `cr`); must be a
+    /// multiple of 4.
+    pub ns: usize,
+    /// Kernel repetitions (the paper runs 500).
+    pub repeats: usize,
+}
+
+/// Split version: two parallel loops.
+pub const GFMC_SRC: &str = r#"
+subroutine gfmc(ns, np, nrep, mss, jcnt, xee, xmm, xf, cr, cl)
+  integer, intent(in) :: ns, np, nrep
+  integer, intent(in) :: mss(4, np)
+  integer, intent(in) :: jcnt(np)
+  real, intent(in) :: xee, xmm, xf
+  real, intent(inout) :: cr(ns, ns)
+  real, intent(inout) :: cl(ns, ns)
+  integer :: rep, k12, j, i, idd, iud, idu, iuu
+  do rep = 1, nrep
+    !$omp parallel do shared(cl, cr, mss, jcnt) private(j, idd, iud, idu, iuu)
+    do k12 = 1, np
+      idd = mss(1, k12)
+      iud = mss(2, k12)
+      idu = mss(3, k12)
+      iuu = mss(4, k12)
+      do j = 1, jcnt(k12)
+        cl(idd, j) = xee * cr(idd, j) + xmm * cr(iuu, j)
+        cl(iuu, j) = xee * cr(iuu, j) + xmm * cr(idd, j)
+        cl(iud, j) = xmm * cr(iud, j) + xee * cr(idu, j)
+        cl(idu, j) = xmm * cr(idu, j) + xee * cr(iud, j)
+      end do
+    end do
+    !$omp parallel do shared(cr, cl) private(j)
+    do i = 1, ns
+      do j = 1, ns
+        cr(i, j) = tanh(cr(i, j)) + xf * cl(i, j)
+      end do
+    end do
+  end do
+end subroutine
+"#;
+
+/// Fused version (GFMC*): one parallel loop, extra opaque gather `msx`.
+pub const GFMC_STAR_SRC: &str = r#"
+subroutine gfmcstar(ns, np, nrep, mss, msx, jcnt, xee, xmm, xf, cr, cl)
+  integer, intent(in) :: ns, np, nrep
+  integer, intent(in) :: mss(4, np)
+  integer, intent(in) :: msx(np)
+  integer, intent(in) :: jcnt(np)
+  real, intent(in) :: xee, xmm, xf
+  real, intent(inout) :: cr(ns, ns)
+  real, intent(inout) :: cl(ns, ns)
+  integer :: rep, k12, j, idd, iud, idu, iuu, kk
+  do rep = 1, nrep
+    !$omp parallel do shared(cl, cr, mss, msx, jcnt) private(j, idd, iud, idu, iuu, kk)
+    do k12 = 1, np
+      idd = mss(1, k12)
+      iud = mss(2, k12)
+      idu = mss(3, k12)
+      iuu = mss(4, k12)
+      kk = msx(k12)
+      do j = 1, jcnt(k12)
+        cl(idd, j) = xee * cr(idd, j) + xmm * cr(kk, j)
+        cl(iuu, j) = xee * cr(iuu, j) + xmm * cr(idd, j)
+        cl(iud, j) = xmm * cr(iud, j) + xee * cr(idu, j)
+        cl(idu, j) = xmm * cr(idu, j) + xee * cr(iud, j)
+      end do
+      do j = 1, ns
+        cr(idd, j) = tanh(cr(idd, j)) + xf * cl(idd, j)
+        cr(iud, j) = tanh(cr(iud, j)) + xf * cl(iud, j)
+        cr(idu, j) = tanh(cr(idu, j)) + xf * cl(idu, j)
+        cr(iuu, j) = tanh(cr(iuu, j)) + xf * cl(iuu, j)
+      end do
+    end do
+  end do
+end subroutine
+"#;
+
+impl GfmcCase {
+    /// Standard case at a given scale.
+    pub fn new(ns: usize, repeats: usize) -> GfmcCase {
+        assert_eq!(ns % 4, 0, "ns must be a multiple of 4");
+        GfmcCase { ns, repeats }
+    }
+
+    /// Pair count.
+    pub fn np(&self) -> usize {
+        self.ns / 4
+    }
+
+    /// Parsed split-version primal.
+    pub fn ir(&self) -> Program {
+        let p = parse_program(GFMC_SRC).expect("gfmc source parses");
+        formad_ir::validate_strict(&p).expect("gfmc source validates");
+        p
+    }
+
+    /// Parsed fused-version primal (GFMC*).
+    pub fn ir_star(&self) -> Program {
+        let p = parse_program(GFMC_STAR_SRC).expect("gfmc* source parses");
+        formad_ir::validate_strict(&p).expect("gfmc* source validates");
+        p
+    }
+
+    /// Bindings shared by both variants. `mss` partitions the rows into
+    /// groups of 4 (a random permutation), so writes are disjoint across
+    /// iterations; `jcnt` ramps linearly for load imbalance; `msx` points
+    /// at each group's own second row, keeping the fused primal race-free
+    /// while staying opaque to the analysis.
+    pub fn bindings(&self, seed: u64) -> Bindings {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ns = self.ns;
+        let np = self.np();
+        let mut perm: Vec<i64> = (1..=ns as i64).collect();
+        perm.shuffle(&mut rng);
+        // mss(4, np) column-major: group g owns perm[4g..4g+4].
+        let mss: Vec<i64> = perm.clone();
+        let msx: Vec<i64> = (0..np).map(|g| perm[4 * g + 1]).collect();
+        // Load imbalance: trip counts ramp from ns/4 to ns.
+        let jcnt: Vec<i64> = (0..np)
+            .map(|g| ((ns / 4) + (3 * ns / 4) * (g + 1) / np).max(1) as i64)
+            .collect();
+        Bindings::new()
+            .int("ns", ns as i64)
+            .int("np", np as i64)
+            .int("nrep", self.repeats as i64)
+            .int_array("mss", mss)
+            .int_array("msx", msx)
+            .int_array("jcnt", jcnt)
+            .real("xee", 0.7)
+            .real("xmm", 0.3)
+            .real("xf", 0.05)
+            .real_array("cr", (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .real_array("cl", (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Bindings for the split variant (no `msx` parameter).
+    pub fn bindings_split(&self, seed: u64) -> Bindings {
+        let mut b = self.bindings(seed);
+        b.int_arrays.remove("msx");
+        b
+    }
+
+    /// Differentiation inputs ("using both cl and cr as active input and
+    /// output variables", §7.2).
+    pub fn independents() -> &'static [&'static str] {
+        &["cr", "cl"]
+    }
+
+    /// Differentiation outputs.
+    pub fn dependents() -> &'static [&'static str] {
+        &["cr", "cl"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formad_machine::{run, Machine};
+
+    #[test]
+    fn split_executes_thread_invariant() {
+        let c = GfmcCase::new(16, 2);
+        let p = c.ir();
+        let mut b1 = c.bindings_split(1);
+        run(&p, &mut b1, &Machine::with_threads(1)).unwrap();
+        let mut b4 = c.bindings_split(1);
+        run(&p, &mut b4, &Machine::with_threads(4)).unwrap();
+        assert_eq!(b1.get_real_array("cr"), b4.get_real_array("cr"));
+        assert_eq!(b1.get_real_array("cl"), b4.get_real_array("cl"));
+    }
+
+    #[test]
+    fn fused_executes_thread_invariant() {
+        let c = GfmcCase::new(16, 2);
+        let p = c.ir_star();
+        let mut b1 = c.bindings(1);
+        run(&p, &mut b1, &Machine::with_threads(1)).unwrap();
+        let mut b4 = c.bindings(1);
+        run(&p, &mut b4, &Machine::with_threads(4)).unwrap();
+        assert_eq!(b1.get_real_array("cr"), b4.get_real_array("cr"));
+    }
+
+    #[test]
+    fn jcnt_is_imbalanced() {
+        let c = GfmcCase::new(32, 1);
+        let b = c.bindings(0);
+        let jcnt = &b.int_arrays["jcnt"];
+        assert!(jcnt.last().unwrap() > jcnt.first().unwrap());
+        assert!(*jcnt.last().unwrap() as usize <= c.ns);
+    }
+
+    #[test]
+    fn mss_partitions_rows() {
+        let c = GfmcCase::new(24, 1);
+        let b = c.bindings(9);
+        let mut rows: Vec<i64> = b.int_arrays["mss"].clone();
+        rows.sort_unstable();
+        assert_eq!(rows, (1..=24).collect::<Vec<i64>>());
+    }
+}

@@ -1,0 +1,130 @@
+//! Lattice-Boltzmann method kernel (paper §7.3, Parboil suite).
+//!
+//! The streaming step writes `dstgrid` at 19 direction offsets per cell,
+//! each offset a per-cell scalar plus a multiple of `n_cell_entries`.
+//! The collision/stream reads of `srcgrid` use the same named offsets —
+//! except one (`eb`), which is read with multiplier 0 instead of its
+//! write multiplier −14399. The adjoint therefore increments `srcgrid`'s
+//! adjoint at an expression outside the proven-disjoint write set, and
+//! FormAD (correctly) refuses to drop the safeguards. This benchmark is
+//! analysis-only in the paper ("no change to the code and thus no speedup
+//! is achieved"); we reproduce the analysis outcome and Table 1 row.
+
+use formad_ir::{parse_program, Program};
+
+/// The 19 D3Q19 direction names and their `n_cell_entries` multipliers,
+/// exactly as printed in the paper's §7.3 listing.
+pub const LBM_OFFSETS: [(&str, i64); 19] = [
+    ("w", -1),
+    ("se", -119),
+    ("c", 0),
+    ("nb", -14280),
+    ("s", -120),
+    ("sb", -14520),
+    ("eb", -14399),
+    ("et", 14401),
+    ("nt", 14520),
+    ("t", 14400),
+    ("ne", 121),
+    ("b", -14400),
+    ("wb", -14401),
+    ("wt", 14399),
+    ("sw", -121),
+    ("e", 1),
+    ("st", 14280),
+    ("nw", 119),
+    ("n", 120),
+];
+
+/// Generate the LBM streaming subroutine source. Each direction `d` with
+/// multiplier `m` produces
+/// `dstgrid(d + nce*m + i) = f(srcgrid(d + nce*m + i))`, with the `eb`
+/// read anomalously using multiplier 0 (as in the paper).
+pub fn lbm_source() -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let names: Vec<&str> = LBM_OFFSETS.iter().map(|(n, _)| *n).collect();
+    let _ = writeln!(s, "subroutine lbm(ncells, nce, nel, srcgrid, dstgrid)");
+    let _ = writeln!(s, "  integer, intent(in) :: ncells, nce, nel");
+    let _ = writeln!(s, "  real, intent(in) :: srcgrid(nel)");
+    let _ = writeln!(s, "  real, intent(inout) :: dstgrid(nel)");
+    let _ = writeln!(s, "  integer :: i, {}", names.join(", "));
+    let _ = writeln!(
+        s,
+        "  !$omp parallel do shared(srcgrid, dstgrid) private({})",
+        names.join(", ")
+    );
+    let _ = writeln!(s, "  do i = 1, ncells");
+    // Per-cell offset scalars (the result of the macro expansion chain in
+    // the original C code); values are the entry slots 1..19.
+    for (k, (name, _)) in LBM_OFFSETS.iter().enumerate() {
+        let _ = writeln!(s, "    {name} = {}", k + 1);
+    }
+    for (name, mult) in LBM_OFFSETS {
+        let read_mult = if name == "eb" { 0 } else { mult };
+        let w = offset(name, mult);
+        let r = offset(name, read_mult);
+        let _ = writeln!(
+            s,
+            "    dstgrid({w}) = 0.95 * srcgrid({r}) + 0.05 * srcgrid({})",
+            offset("c", 0)
+        );
+    }
+    let _ = writeln!(s, "  end do");
+    let _ = writeln!(s, "end subroutine");
+    s
+}
+
+fn offset(name: &str, mult: i64) -> String {
+    if mult >= 0 {
+        format!("{name} + nce * {mult} + i")
+    } else {
+        format!("{name} + nce * ({mult}) + i")
+    }
+}
+
+/// Parsed and validated LBM primal.
+pub fn lbm_ir() -> Program {
+    let p = parse_program(&lbm_source()).expect("lbm source parses");
+    formad_ir::validate_strict(&p).expect("lbm source validates");
+    p
+}
+
+/// Differentiation inputs.
+pub fn independents() -> &'static [&'static str] {
+    &["srcgrid"]
+}
+
+/// Differentiation outputs.
+pub fn dependents() -> &'static [&'static str] {
+    &["dstgrid"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_has_19_write_offsets() {
+        let src = lbm_source();
+        for (name, mult) in LBM_OFFSETS {
+            let expect = if mult >= 0 {
+                format!("dstgrid({name} + nce * {mult} + i)")
+            } else {
+                format!("dstgrid({name} + nce * ({mult}) + i)")
+            };
+            assert!(src.contains(&expect), "missing {expect} in\n{src}");
+        }
+        // The anomalous eb read with multiplier 0.
+        assert!(src.contains("srcgrid(eb + nce * 0 + i)"), "{src}");
+        let _ = lbm_ir();
+    }
+
+    #[test]
+    fn offsets_are_distinct() {
+        let mut mults: Vec<i64> = LBM_OFFSETS.iter().map(|(_, m)| *m).collect();
+        mults.sort_unstable();
+        mults.dedup();
+        assert_eq!(mults.len(), 19);
+    }
+}

@@ -1,0 +1,161 @@
+//! Compact stencil benchmark (paper §7.1).
+//!
+//! The "compact" scheme of Stock et al. balances loads and stores by
+//! making each iteration's read and write sets identical, via a strided
+//! two-pass sweep. `radius = 1` is the paper's *small* (3-point) stencil,
+//! `radius = 8` the *large* (17-point equivalent) one.
+
+use std::fmt::Write;
+
+use formad_ir::{parse_program, Program};
+use formad_machine::Bindings;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one stencil experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilCase {
+    /// Grid points.
+    pub n: usize,
+    /// Sweeps over the domain.
+    pub sweeps: usize,
+    /// Stencil radius (1 = small, 8 = large).
+    pub radius: usize,
+}
+
+impl StencilCase {
+    /// The paper's small stencil at a given scale.
+    pub fn small(n: usize, sweeps: usize) -> StencilCase {
+        StencilCase { n, sweeps, radius: 1 }
+    }
+
+    /// The paper's large stencil at a given scale.
+    pub fn large(n: usize, sweeps: usize) -> StencilCase {
+        StencilCase { n, sweeps, radius: 8 }
+    }
+
+    /// Surface-syntax source of the primal subroutine.
+    ///
+    /// The compact scheme updates `unew(i-k)` for `k = 0..radius` from
+    /// `uold` neighbourhood values, in `radius+1` interleaved strided
+    /// passes so writes are disjoint across iterations of each parallel
+    /// loop.
+    pub fn source(&self) -> String {
+        let r = self.radius;
+        let stride = r + 1;
+        let mut s = String::new();
+        let _ = writeln!(s, "subroutine stencil{r}(n, nsweep, w, uold, unew)");
+        let _ = writeln!(s, "  integer, intent(in) :: n, nsweep");
+        let _ = writeln!(s, "  real, intent(in) :: w({})", 2 * r + 1);
+        let _ = writeln!(s, "  real, intent(in) :: uold(n)");
+        let _ = writeln!(s, "  real, intent(inout) :: unew(n)");
+        let _ = writeln!(s, "  integer :: i, offset, from, sweep");
+        let _ = writeln!(s, "  do sweep = 1, nsweep");
+        let _ = writeln!(s, "    do offset = 0, {}", stride - 1);
+        let _ = writeln!(s, "      from = {stride} * 1 + offset");
+        let _ = writeln!(s, "      !$omp parallel do shared(unew, uold, w)");
+        let _ = writeln!(s, "      do i = from, n - {r}, {stride}");
+        // The compact scheme's defining property: identical read and
+        // write sets {i-r, …, i}, in 2r+1 update statements (3 for the
+        // small stencil, 17 for the large one — the paper's `loc` column).
+        for k in 0..=r {
+            let widx = k + 1;
+            let e = offset_expr("i", -(k as i64));
+            let _ = writeln!(s, "        unew({e}) = unew({e}) + w({widx}) * uold({e})");
+        }
+        for k in 0..r {
+            let widx = r + 2 + k;
+            let write = offset_expr("i", -(k as i64));
+            let read = offset_expr("i", -(k as i64 + 1));
+            let _ = writeln!(
+                s,
+                "        unew({write}) = unew({write}) + w({widx}) * uold({read})"
+            );
+        }
+        let _ = writeln!(s, "      end do");
+        let _ = writeln!(s, "    end do");
+        let _ = writeln!(s, "  end do");
+        let _ = writeln!(s, "end subroutine");
+        s
+    }
+
+    /// Parsed and validated primal.
+    pub fn ir(&self) -> Program {
+        let p = parse_program(&self.source()).expect("stencil source parses");
+        formad_ir::validate_strict(&p).expect("stencil source validates");
+        p
+    }
+
+    /// Input bindings with reproducible random data.
+    pub fn bindings(&self, seed: u64) -> Bindings {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..2 * self.radius + 1)
+            .map(|_| rng.gen_range(0.1..0.9))
+            .collect();
+        Bindings::new()
+            .int("n", self.n as i64)
+            .int("nsweep", self.sweeps as i64)
+            .real_array("w", w)
+            .real_array("uold", (0..self.n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .real_array("unew", vec![0.0; self.n])
+    }
+
+    /// Differentiation inputs.
+    pub fn independents() -> &'static [&'static str] {
+        &["uold"]
+    }
+
+    /// Differentiation outputs.
+    pub fn dependents() -> &'static [&'static str] {
+        &["unew"]
+    }
+}
+
+fn offset_expr(base: &str, off: i64) -> String {
+    match off.cmp(&0) {
+        std::cmp::Ordering::Equal => base.to_string(),
+        std::cmp::Ordering::Greater => format!("{base} + {off}"),
+        std::cmp::Ordering::Less => format!("{base} - {}", -off),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formad_machine::{run, Machine};
+
+    #[test]
+    fn small_source_matches_paper_shape() {
+        let c = StencilCase::small(32, 1);
+        let src = c.source();
+        assert!(src.contains("do i = from, n - 1, 2"), "{src}");
+        assert!(src.contains("unew(i) = unew(i) + w(1) * uold(i)"), "{src}");
+        assert!(src.contains("unew(i) = unew(i) + w(3) * uold(i - 1)"), "{src}");
+        assert!(src.contains("unew(i - 1) = unew(i - 1)"), "{src}");
+        let _ = c.ir();
+    }
+
+    #[test]
+    fn large_has_17_reads_9_writes() {
+        let c = StencilCase::large(64, 1);
+        let src = c.source();
+        // radius 8 → write offsets i..i-8 (9 exprs) and reads i-8..i+8.
+        assert!(src.contains("uold(i - 8)"), "{src}");
+        assert!(!src.contains("uold(i + "), "{src}");
+        assert!(src.contains("unew(i - 8)"), "{src}");
+        let _ = c.ir();
+    }
+
+    #[test]
+    fn executes_and_is_thread_invariant() {
+        let c = StencilCase::small(40, 2);
+        let p = c.ir();
+        let mut b1 = c.bindings(7);
+        run(&p, &mut b1, &Machine::with_threads(1)).unwrap();
+        let mut b4 = c.bindings(7);
+        run(&p, &mut b4, &Machine::with_threads(4)).unwrap();
+        assert_eq!(b1.get_real_array("unew"), b4.get_real_array("unew"));
+        // Something was actually computed.
+        assert!(b1.get_real_array("unew").unwrap().iter().any(|v| *v != 0.0));
+    }
+}

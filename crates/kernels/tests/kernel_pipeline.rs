@@ -1,0 +1,230 @@
+//! Full-pipeline validation on the real benchmark kernels: FormAD
+//! decisions match the paper, and every generated adjoint version passes
+//! the finite-difference dot-product test.
+
+use formad::{Decision, Formad, FormadOptions, IncMode, ParallelTreatment};
+use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+use formad_machine::{dot_product_test, Bindings, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(seed: u64, n: usize) -> Vec<f64> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn stencil_small_decision_and_stats() {
+    let c = StencilCase::small(64, 2);
+    let a = Formad::new(FormadOptions::new(
+        StencilCase::independents(),
+        StencilCase::dependents(),
+    ))
+    .analyze(&c.ir())
+    .unwrap();
+    assert!(a.all_safe());
+    // Table 1, stencil 1: e = 2, size = 5, loc = 3.
+    assert_eq!(a.regions[0].unique_exprs, 2);
+    assert_eq!(a.regions[0].model_size, 5);
+    assert_eq!(a.regions[0].loc, 3);
+}
+
+#[test]
+fn stencil_large_decision_and_stats() {
+    let c = StencilCase::large(128, 1);
+    let a = Formad::new(FormadOptions::new(
+        StencilCase::independents(),
+        StencilCase::dependents(),
+    ))
+    .analyze(&c.ir())
+    .unwrap();
+    assert!(a.all_safe());
+    // Table 1, stencil 8: e = 9, size = 1 + 81 = 82, loc = 17.
+    assert_eq!(a.regions[0].unique_exprs, 9);
+    assert_eq!(a.regions[0].model_size, 82);
+    assert_eq!(a.regions[0].loc, 17);
+}
+
+#[test]
+fn gfmc_split_decision() {
+    let c = GfmcCase::new(16, 1);
+    let a = Formad::new(FormadOptions::new(
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    ))
+    .analyze(&c.ir())
+    .unwrap();
+    assert_eq!(a.regions.len(), 2);
+    // Spin exchange: cr increments proven via cl knowledge.
+    assert_eq!(a.regions[0].decisions.get("cr"), Some(&Decision::Shared));
+    assert_eq!(a.regions[0].decisions.get("cl"), Some(&Decision::Shared));
+    // Spin flip: affine row indices.
+    assert_eq!(a.regions[1].decisions.get("cr"), Some(&Decision::Shared));
+    assert_eq!(a.regions[1].decisions.get("cl"), Some(&Decision::Shared));
+}
+
+#[test]
+fn gfmc_star_decision() {
+    let c = GfmcCase::new(16, 1);
+    let a = Formad::new(FormadOptions::new(
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    ))
+    .analyze(&c.ir_star())
+    .unwrap();
+    assert_eq!(a.regions.len(), 1);
+    assert!(
+        matches!(a.regions[0].decisions.get("cr"), Some(Decision::Guarded(_))),
+        "{:?}",
+        a.regions[0].decisions
+    );
+}
+
+#[test]
+fn lbm_decision_and_stats() {
+    let a = Formad::new(FormadOptions::new(lbm::independents(), lbm::dependents()))
+        .analyze(&lbm::lbm_ir())
+        .unwrap();
+    assert!(
+        matches!(a.regions[0].decisions.get("srcgrid"), Some(Decision::Guarded(_))),
+        "{:?}",
+        a.regions[0].decisions
+    );
+    // Table 1, LBM: 19 unique write expressions → model size 1 + 19² = 362
+    // (srcgrid contributes no knowledge: it is never written).
+    assert_eq!(a.regions[0].unique_exprs, 19); // Table 1: e = 19 (srcgrid is never written, so only dstgrid contributes)
+    // The safe write set is printed for §7.3-style reporting.
+    assert_eq!(a.regions[0].safe_write_exprs.len(), 19);
+    assert!(!a.regions[0].rejected_exprs.is_empty());
+}
+
+#[test]
+fn green_gauss_decision() {
+    let c = GreenGaussCase::linear(32, 1);
+    let a = Formad::new(FormadOptions::new(
+        GreenGaussCase::independents(),
+        GreenGaussCase::dependents(),
+    ))
+    .analyze(&c.ir())
+    .unwrap();
+    assert!(a.all_safe(), "{:?}", a.regions[0].decisions);
+    assert_eq!(a.regions[0].unique_exprs, 2);
+}
+
+// ---------------------------------------------------------------------
+// Adjoint correctness of all four program versions per kernel.
+// ---------------------------------------------------------------------
+
+fn check_versions(
+    primal: &formad_ir::Program,
+    base: &Bindings,
+    independents: &[(&str, Vec<f64>)],
+    dependents: &[(&str, Vec<f64>)],
+    tol: f64,
+) {
+    let indep: Vec<&str> = independents.iter().map(|(n, _)| *n).collect();
+    let dep: Vec<&str> = dependents.iter().map(|(n, _)| *n).collect();
+    let tool = Formad::new(FormadOptions::new(&indep, &dep));
+    let formad_adj = tool.differentiate(primal).unwrap().adjoint;
+    let serial = tool.adjoint_with(primal, ParallelTreatment::Serial).unwrap();
+    let atomic = tool
+        .adjoint_with(primal, ParallelTreatment::Uniform(IncMode::Atomic))
+        .unwrap();
+    let reduction = tool
+        .adjoint_with(primal, ParallelTreatment::Uniform(IncMode::Reduction))
+        .unwrap();
+    for (name, adj) in [
+        ("formad", &formad_adj),
+        ("serial", &serial),
+        ("atomic", &atomic),
+        ("reduction", &reduction),
+    ] {
+        for threads in [1usize, 4] {
+            let t = dot_product_test(
+                primal,
+                adj,
+                base,
+                independents,
+                dependents,
+                &Machine::with_threads(threads),
+                1e-6,
+                "b",
+            )
+            .unwrap_or_else(|e| panic!("{name} T={threads}: {e}"));
+            assert!(
+                t.passes(tol),
+                "{name} T={threads}: fd={} adj={} rel={}",
+                t.fd_value,
+                t.adjoint_value,
+                t.rel_error
+            );
+        }
+    }
+}
+
+#[test]
+fn stencil_adjoints_correct() {
+    let c = StencilCase::small(32, 2);
+    let base = c.bindings(11);
+    check_versions(
+        &c.ir(),
+        &base,
+        &[("uold", rand_vec(21, 32))],
+        &[("unew", rand_vec(22, 32))],
+        1e-6,
+    );
+}
+
+#[test]
+fn stencil_large_adjoints_correct() {
+    let c = StencilCase::large(64, 1);
+    let base = c.bindings(13);
+    check_versions(
+        &c.ir(),
+        &base,
+        &[("uold", rand_vec(23, 64))],
+        &[("unew", rand_vec(24, 64))],
+        1e-6,
+    );
+}
+
+#[test]
+fn gfmc_split_adjoints_correct() {
+    let c = GfmcCase::new(8, 1);
+    let base = c.bindings_split(17);
+    let ns2 = c.ns * c.ns;
+    check_versions(
+        &c.ir(),
+        &base,
+        &[("cr", rand_vec(31, ns2)), ("cl", rand_vec(32, ns2))],
+        &[("cr", rand_vec(33, ns2)), ("cl", rand_vec(34, ns2))],
+        1e-4, // nonlinear tanh: finite differences are less exact
+    );
+}
+
+#[test]
+fn gfmc_star_adjoints_correct() {
+    let c = GfmcCase::new(8, 1);
+    let base = c.bindings(19);
+    let ns2 = c.ns * c.ns;
+    check_versions(
+        &c.ir_star(),
+        &base,
+        &[("cr", rand_vec(41, ns2)), ("cl", rand_vec(42, ns2))],
+        &[("cr", rand_vec(43, ns2)), ("cl", rand_vec(44, ns2))],
+        1e-4,
+    );
+}
+
+#[test]
+fn green_gauss_adjoints_correct() {
+    let c = GreenGaussCase::linear(24, 2);
+    let base = c.bindings(23);
+    check_versions(
+        &c.ir(),
+        &base,
+        &[("dv", rand_vec(51, 24))],
+        &[("grad", rand_vec(52, 24))],
+        1e-6,
+    );
+}

@@ -1,0 +1,92 @@
+//! Input/output data bound to a subroutine invocation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime data for one subroutine call: scalar and array values keyed by
+/// parameter name. Locals are created (zero-initialized) by the machine.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    pub real_scalars: HashMap<String, f64>,
+    pub int_scalars: HashMap<String, i64>,
+    pub real_arrays: HashMap<String, Vec<f64>>,
+    pub int_arrays: HashMap<String, Vec<i64>>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Bind an integer scalar.
+    pub fn int(mut self, name: &str, v: i64) -> Self {
+        self.int_scalars.insert(name.to_string(), v);
+        self
+    }
+
+    /// Bind a real scalar.
+    pub fn real(mut self, name: &str, v: f64) -> Self {
+        self.real_scalars.insert(name.to_string(), v);
+        self
+    }
+
+    /// Bind a real array (Fortran order: first index fastest).
+    pub fn real_array(mut self, name: &str, v: Vec<f64>) -> Self {
+        self.real_arrays.insert(name.to_string(), v);
+        self
+    }
+
+    /// Bind an integer array.
+    pub fn int_array(mut self, name: &str, v: Vec<i64>) -> Self {
+        self.int_arrays.insert(name.to_string(), v);
+        self
+    }
+
+    /// Read back a real array after execution.
+    pub fn get_real_array(&self, name: &str) -> Option<&[f64]> {
+        self.real_arrays.get(name).map(|v| v.as_slice())
+    }
+
+    /// Read back a real scalar after execution.
+    pub fn get_real(&self, name: &str) -> Option<f64> {
+        self.real_scalars.get(name).copied()
+    }
+}
+
+/// Execution-time errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    pub message: String,
+}
+
+impl ExecError {
+    pub(crate) fn new(m: impl Into<String>) -> ExecError {
+        ExecError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_pattern() {
+        let b = Bindings::new()
+            .int("n", 4)
+            .real("a", 2.5)
+            .real_array("x", vec![1.0; 4]);
+        assert_eq!(b.int_scalars["n"], 4);
+        assert_eq!(b.get_real("a"), Some(2.5));
+        assert_eq!(b.get_real_array("x").unwrap().len(), 4);
+        assert_eq!(b.get_real_array("zzz"), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cost model of the simulated shared-memory multiprocessor.
+//!
+//! The host for this reproduction has a single CPU core, so the paper's
+//! 18-core scalability experiments are regenerated on a *simulated*
+//! machine: the interpreter counts cycles per simulated thread using the
+//! constants below, and a parallel region's wall time is the maximum over
+//! its threads plus privatization/merge/fork-join terms.
+//!
+//! The constants are calibrated against two anchors from the paper's
+//! single-thread measurements (§7.1, small stencil): an atomic
+//! floating-point update costs roughly an order of magnitude more than a
+//! plain one even uncontended (serial atomic adjoint 40.7 s vs serial
+//! adjoint 1.58 s ≈ 26× on a loop of 3 increments — most of it atomics),
+//! and reduction privatization roughly doubles single-thread time when the
+//! privatized footprint is comparable to the work per sweep (3.65 s vs
+//! 1.58 s ≈ 2.3×).
+
+/// Cycle costs of primitive operations on the simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// One floating-point or integer ALU operation.
+    pub flop: u64,
+    /// One memory read (array element or scalar).
+    pub mem_read: u64,
+    /// One memory write.
+    pub mem_write: u64,
+    /// One transcendental intrinsic (sin, exp, ...).
+    pub intrinsic: u64,
+    /// One tape push or pop.
+    pub tape_op: u64,
+    /// Cost of one *indirect* memory access (index loaded from another
+    /// array — a gather/scatter that defeats prefetching; charged instead
+    /// of `mem_read`/`mem_write`).
+    pub mem_indirect: u64,
+    /// Uncontended atomic read-modify-write (CAS loop on a double).
+    pub atomic_base: u64,
+    /// Per-thread linear scaling of atomic cost: each atomic costs
+    /// `atomic_base · T · (100 + atomic_quad_pct·(T−1)) / 100` with `T`
+    /// active threads — coherence traffic grows with the thread count and
+    /// CAS retries add a superlinear term, which is what makes the
+    /// paper's atomic adjoints *slow down* as threads are added.
+    pub atomic_quad_pct: u64,
+    /// Fork/join overhead of one parallel region (charged to wall time).
+    pub fork_join: u64,
+    /// Per-element zero-initialization of a privatized reduction copy
+    /// (each thread initializes its own copy, concurrently).
+    pub red_init_per_elem: u64,
+    /// Per-element merge of one privatized copy into the shared array
+    /// (serialized across threads, charged to wall time).
+    pub red_merge_per_elem: u64,
+    /// Per-iteration loop bookkeeping.
+    pub loop_overhead: u64,
+    /// Region bandwidth floor, per direct memory op, in tenths of a
+    /// cycle: a parallel region's wall time cannot drop below
+    /// `(direct_ops·seq_bw_tenths + indirect_ops·rand_bw_tenths) / 10`
+    /// regardless of thread count (shared memory controller).
+    pub seq_bw_tenths: u64,
+    /// Bandwidth floor per indirect memory op, tenths of a cycle.
+    pub rand_bw_tenths: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            flop: 1,
+            mem_read: 2,
+            mem_write: 2,
+            mem_indirect: 9,
+            intrinsic: 12,
+            tape_op: 3,
+            atomic_base: 900,
+            atomic_quad_pct: 12,
+            fork_join: 1500,
+            red_init_per_elem: 17,
+            red_merge_per_elem: 50,
+            loop_overhead: 1,
+            seq_bw_tenths: 3,
+            rand_bw_tenths: 45,
+        }
+    }
+}
+
+/// Cumulative event counters of one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Plain floating/integer operations executed.
+    pub flops: u64,
+    /// Memory reads.
+    pub reads: u64,
+    /// Memory writes.
+    pub writes: u64,
+    /// Atomic updates executed.
+    pub atomic_ops: u64,
+    /// Tape pushes.
+    pub tape_pushes: u64,
+    /// Tape pops.
+    pub tape_pops: u64,
+    /// Parallel regions entered.
+    pub parallel_regions: u64,
+    /// Elements privatized+merged by reduction clauses.
+    pub reduction_elems: u64,
+    /// Indirect (gather/scatter) memory accesses.
+    pub indirect_ops: u64,
+    /// Peak extra bytes held by reduction privatization.
+    pub peak_reduction_bytes: u64,
+}
+
+/// Result of one simulated execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecResult {
+    /// Simulated wall-clock cycles (sequential parts sum; parallel parts
+    /// contribute their slowest thread plus overheads).
+    pub wall_cycles: u128,
+    /// Total cycles across all threads (simulated CPU time).
+    pub cpu_cycles: u128,
+    /// Event counters.
+    pub stats: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_of_costs() {
+        let c = CostModel::default();
+        // An uncontended atomic must dwarf a plain write; contention grows it.
+        assert!(c.atomic_base > 10 * c.mem_write);
+        assert!(c.atomic_quad_pct > 0);
+        assert!(c.intrinsic > c.flop);
+        assert!(c.mem_indirect > c.mem_read);
+        assert!(c.rand_bw_tenths > c.seq_bw_tenths);
+    }
+}

@@ -1,0 +1,124 @@
+//! Finite-difference validation of generated adjoints.
+//!
+//! The standard dot-product test: for the primal map `y = F(x)`, reverse
+//! mode computes `x̄ = Jᵀ ȳ`. Central finite differences approximate the
+//! directional derivative `J·v`. Correctness requires
+//! `⟨ȳ, J·v⟩ = ⟨x̄, v⟩` for random `ȳ`, `v` — checked here to a relative
+//! tolerance.
+
+use formad_ir::Program;
+
+use crate::bindings::{Bindings, ExecError};
+use crate::interp::{run, Machine};
+
+/// Outcome of one dot-product test.
+#[derive(Debug, Clone)]
+pub struct DotTest {
+    /// ⟨ȳ, J·v⟩ from central finite differences on the primal.
+    pub fd_value: f64,
+    /// ⟨x̄, v⟩ from the adjoint program.
+    pub adjoint_value: f64,
+    /// |fd − adj| / max(|fd|, |adj|, 1e-12).
+    pub rel_error: f64,
+}
+
+impl DotTest {
+    /// Does the test pass at tolerance `tol`?
+    pub fn passes(&self, tol: f64) -> bool {
+        self.rel_error <= tol
+    }
+}
+
+/// Run the dot-product test.
+///
+/// * `primal` — the original subroutine; `adjoint` — its reverse-mode
+///   transformation (parameters: primal's plus `xb`-style adjoints).
+/// * `base` — bindings for all primal parameters.
+/// * `independents` / `dependents` — real *array* parameter names being
+///   differentiated (scalar in/outputs can be modeled as 1-element
+///   arrays).
+/// * `v` — direction per independent (same length as the array);
+///   `ybar` — weights per dependent.
+/// * `machine` — thread count/cost model (results must not depend on it).
+#[allow(clippy::too_many_arguments)]
+pub fn dot_product_test(
+    primal: &Program,
+    adjoint: &Program,
+    base: &Bindings,
+    independents: &[(&str, Vec<f64>)],
+    dependents: &[(&str, Vec<f64>)],
+    machine: &Machine,
+    h: f64,
+    suffix: &str,
+) -> Result<DotTest, ExecError> {
+    // --- finite differences: g(s) = ⟨ȳ, F(x + s·v)⟩ -----------------------
+    let eval_g = |s: f64| -> Result<f64, ExecError> {
+        let mut b = base.clone();
+        for (name, v) in independents {
+            let arr = b
+                .real_arrays
+                .get_mut(*name)
+                .ok_or_else(|| ExecError::new(format!("independent `{name}` unbound")))?;
+            for (a, d) in arr.iter_mut().zip(v) {
+                *a += s * d;
+            }
+        }
+        run(primal, &mut b, machine)?;
+        let mut g = 0.0;
+        for (name, w) in dependents {
+            let arr = b
+                .get_real_array(name)
+                .ok_or_else(|| ExecError::new(format!("dependent `{name}` unbound")))?;
+            for (y, wy) in arr.iter().zip(w) {
+                g += y * wy;
+            }
+        }
+        Ok(g)
+    };
+    let fd_value = (eval_g(h)? - eval_g(-h)?) / (2.0 * h);
+
+    // --- adjoint: x̄ = Jᵀ ȳ, then ⟨x̄, v⟩ ---------------------------------
+    let mut b = base.clone();
+    for (name, w) in dependents {
+        let arr_len = base
+            .get_real_array(name)
+            .ok_or_else(|| ExecError::new(format!("dependent `{name}` unbound")))?
+            .len();
+        assert_eq!(arr_len, w.len(), "seed length mismatch for {name}");
+        b.real_arrays
+            .insert(format!("{name}{suffix}"), w.clone());
+    }
+    for (name, v) in independents {
+        // Zero-initialized adjoint accumulators (unless the variable is
+        // also a dependent and already seeded).
+        let key = format!("{name}{suffix}");
+        b.real_arrays.entry(key).or_insert_with(|| vec![0.0; v.len()]);
+    }
+    // Any other active adjoint parameters default to zero.
+    for d in &adjoint.params {
+        if d.is_array() && !b.real_arrays.contains_key(&d.name) && d.ty == formad_ir::Ty::Real {
+            if let Some(stem) = d.name.strip_suffix(suffix) {
+                if let Some(primal_arr) = base.get_real_array(stem) {
+                    b.real_arrays.insert(d.name.clone(), vec![0.0; primal_arr.len()]);
+                }
+            }
+        }
+    }
+    run(adjoint, &mut b, machine)?;
+    let mut adjoint_value = 0.0;
+    for (name, v) in independents {
+        let xb = b
+            .get_real_array(&format!("{name}{suffix}"))
+            .ok_or_else(|| ExecError::new(format!("adjoint of `{name}` missing")))?;
+        for (g, d) in xb.iter().zip(v) {
+            adjoint_value += g * d;
+        }
+    }
+
+    let denom = fd_value.abs().max(adjoint_value.abs()).max(1e-12);
+    Ok(DotTest {
+        fd_value,
+        adjoint_value,
+        rel_error: (fd_value - adjoint_value).abs() / denom,
+    })
+}

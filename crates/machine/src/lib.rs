@@ -1,0 +1,28 @@
+//! # formad-machine
+//!
+//! Execution substrate for the FormAD reproduction:
+//!
+//! - [`mod@lower`]: compiles `formad-ir` programs to a slot-resolved form;
+//! - [`interp`]: a deterministic interpreter with a **simulated
+//!   shared-memory multiprocessor** — static-scheduled simulated threads,
+//!   thread-local tapes, privatizing `reduction` clauses, and a calibrated
+//!   [`cost::CostModel`] charging plain/atomic/reduction accesses so the
+//!   paper's scalability experiments (run on an 18-core Xeon) can be
+//!   regenerated on a single-core host;
+//! - [`fd`]: dot-product (finite-difference) validation of adjoints.
+//!
+//! Semantics are exact and thread-count independent; only the *cycle
+//! accounting* models parallel hardware. See `DESIGN.md` for the
+//! substitution rationale.
+
+pub mod bindings;
+pub mod cost;
+pub mod fd;
+pub mod interp;
+pub mod lower;
+
+pub use bindings::{Bindings, ExecError};
+pub use cost::{CostModel, ExecResult, ExecStats};
+pub use fd::{dot_product_test, DotTest};
+pub use interp::{run, Machine};
+pub use lower::{lower, LProgram};

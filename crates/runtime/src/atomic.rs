@@ -1,0 +1,134 @@
+//! Atomic double-precision accumulation (the `!$omp atomic` discipline).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` updated with compare-and-swap loops, bit-cast over
+/// [`AtomicU64`] — the standard OpenMP-runtime implementation of
+/// `!$omp atomic` on a `double`.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// New atomic with the given value.
+    pub fn new(v: f64) -> AtomicF64 {
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    /// Relaxed load.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Plain store (only safe outside concurrent phases).
+    pub fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomic `+= rhs` via a CAS loop; returns the previous value.
+    pub fn fetch_add(&self, rhs: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + rhs).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A shared slice of atomically-updatable doubles.
+///
+/// Construction copies the data into atomics; [`AtomicF64Slice::into_vec`]
+/// copies back. The intermediate representation is what an OpenMP compiler
+/// effectively gives a `shared` array whose increments are all
+/// `!$omp atomic`.
+#[derive(Debug)]
+pub struct AtomicF64Slice {
+    data: Vec<AtomicF64>,
+}
+
+impl AtomicF64Slice {
+    /// Wrap a vector.
+    pub fn from_vec(v: Vec<f64>) -> AtomicF64Slice {
+        AtomicF64Slice {
+            data: v.into_iter().map(AtomicF64::new).collect(),
+        }
+    }
+
+    /// Zeros of length `n`.
+    pub fn zeros(n: usize) -> AtomicF64Slice {
+        AtomicF64Slice {
+            data: (0..n).map(|_| AtomicF64::new(0.0)).collect(),
+        }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Atomic increment of element `i`.
+    #[inline]
+    pub fn add(&self, i: usize, v: f64) {
+        self.data[i].fetch_add(v);
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.data[i].load()
+    }
+
+    /// Copy back into a plain vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data.into_iter().map(|a| a.load()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.fetch_add(2.5), 1.0);
+        assert_eq!(a.load(), 3.5);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let s = AtomicF64Slice::from_vec(vec![1.0, 2.0]);
+        s.add(0, 0.5);
+        assert_eq!(s.get(0), 1.5);
+        assert_eq!(s.into_vec(), vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let s = AtomicF64Slice::zeros(1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        s.add(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get(0), 40_000.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # formad-runtime
+//!
+//! A real shared-memory parallel-for runtime — the OpenMP stand-in used by
+//! the native benchmark kernels. Provides the three increment disciplines
+//! whose costs the paper compares:
+//!
+//! - plain shared writes (safe only when FormAD proved disjointness),
+//! - [`AtomicF64`] compare-and-swap increments (`!$omp atomic`),
+//! - [`ReductionBuffers`] privatized copies with a post-region merge
+//!   (`reduction(+: ...)`).
+//!
+//! Scheduling is static by contiguous chunks, matching both the simulated
+//! machine in `formad-machine` and the per-thread tape discipline of the
+//! generated adjoints.
+
+pub mod atomic;
+pub mod pool;
+pub mod reduction;
+
+pub use atomic::{AtomicF64, AtomicF64Slice};
+pub use pool::{chunk_of, parallel_for, ChunkIter};
+pub use reduction::{ReductionBuffers, ScalarReduction};

@@ -1,0 +1,100 @@
+//! Statically-scheduled parallel-for over scoped threads.
+
+/// Iterator over one thread's chunk of `0..count` (static schedule,
+/// contiguous blocks — the same mapping `formad-machine` simulates).
+#[derive(Debug, Clone)]
+pub struct ChunkIter {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for ChunkIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.next < self.end {
+            let v = self.next;
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// The chunk of thread `t` out of `threads` for `count` iterations.
+pub fn chunk_of(count: usize, threads: usize, t: usize) -> ChunkIter {
+    let chunk = count.div_ceil(threads.max(1));
+    ChunkIter {
+        next: (t * chunk).min(count),
+        end: ((t + 1) * chunk).min(count),
+    }
+}
+
+/// Run `body(thread_id, iter)` for every `iter` in `0..count`, split into
+/// static chunks over `threads` OS threads (crossbeam scoped). With one
+/// thread the body runs inline — no spawn overhead, matching the serial
+/// program versions of the paper.
+pub fn parallel_for<F>(threads: usize, count: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        for i in 0..count {
+            body(0, i);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|scope| {
+        for t in 0..threads {
+            let body = &body;
+            scope.spawn(move |_| {
+                for i in chunk_of(count, threads, t) {
+                    body(t, i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for count in [0usize, 1, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 8, 17] {
+                let mut seen = vec![0u32; count];
+                for t in 0..threads {
+                    for i in chunk_of(count, threads, t) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|c| *c == 1), "count={count} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_all_iterations() {
+        let hits = AtomicUsize::new(0);
+        parallel_for(4, 1000, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let mut order = Vec::new();
+        let cell = std::sync::Mutex::new(&mut order);
+        parallel_for(1, 5, |t, i| {
+            assert_eq!(t, 0);
+            cell.lock().unwrap().push(i);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

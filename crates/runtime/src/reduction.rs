@@ -1,0 +1,128 @@
+//! Privatized reduction buffers (the `reduction(+: array)` discipline).
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+
+/// Per-thread privatized copies of an array, merged with `+` after the
+/// region — the memory-hungry safeguard whose cost the paper's *Adjoint
+/// Reduction* program version pays.
+pub struct ReductionBuffers {
+    bufs: Vec<UnsafeCell<Vec<f64>>>,
+    len: usize,
+}
+
+// Safety: each thread only touches its own buffer (indexed by thread id),
+// enforced by the `slice_mut` contract below.
+unsafe impl Sync for ReductionBuffers {}
+
+impl ReductionBuffers {
+    /// One zero-filled private copy of length `len` per thread.
+    pub fn new(threads: usize, len: usize) -> ReductionBuffers {
+        ReductionBuffers {
+            bufs: (0..threads.max(1))
+                .map(|_| UnsafeCell::new(vec![0.0; len]))
+                .collect(),
+            len,
+        }
+    }
+
+    /// Element count of each private copy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the copies are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extra memory footprint in bytes (the paper notes this is the
+    /// reduction discipline's hidden cost).
+    pub fn footprint_bytes(&self) -> usize {
+        self.bufs.len() * self.len * std::mem::size_of::<f64>()
+    }
+
+    /// Mutable view of thread `t`'s private copy.
+    ///
+    /// # Safety contract
+    /// Must be called with a distinct `t` per concurrent thread (the
+    /// `parallel_for` thread id); two threads must never pass the same
+    /// index.
+    #[allow(clippy::mut_from_ref)]
+    pub fn slice_mut(&self, t: usize) -> &mut [f64] {
+        unsafe { &mut *self.bufs[t].get() }
+    }
+
+    /// Merge all private copies into `target` with `+`, serially (as an
+    /// OpenMP runtime does under a critical section).
+    pub fn merge_into(self, target: &mut [f64]) {
+        assert_eq!(target.len(), self.len);
+        for buf in self.bufs {
+            let b = buf.into_inner();
+            for (t, v) in target.iter_mut().zip(b) {
+                *t += v;
+            }
+        }
+    }
+}
+
+/// A tiny helper for scalar `reduction(+: s)`: thread partials behind a
+/// mutex-protected accumulator (contention-free per-thread, one lock at
+/// the end).
+#[derive(Debug, Default)]
+pub struct ScalarReduction {
+    total: Mutex<f64>,
+}
+
+impl ScalarReduction {
+    /// Zero accumulator.
+    pub fn new() -> ScalarReduction {
+        ScalarReduction::default()
+    }
+
+    /// Fold one thread's partial in.
+    pub fn add(&self, partial: f64) {
+        *self.total.lock() += partial;
+    }
+
+    /// Final value.
+    pub fn finish(self) -> f64 {
+        self.total.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::parallel_for;
+
+    #[test]
+    fn merge_sums_private_copies() {
+        let threads = 4;
+        let n = 64;
+        let red = ReductionBuffers::new(threads, n);
+        parallel_for(threads, 1000, |t, i| {
+            let buf = red.slice_mut(t);
+            buf[i % n] += 1.0;
+        });
+        let mut target = vec![1.0; n];
+        red.merge_into(&mut target);
+        let total: f64 = target.iter().sum();
+        // 1000 increments + n initial ones.
+        assert_eq!(total, 1000.0 + n as f64);
+    }
+
+    #[test]
+    fn footprint_scales_with_threads() {
+        let r2 = ReductionBuffers::new(2, 100);
+        let r8 = ReductionBuffers::new(8, 100);
+        assert_eq!(r8.footprint_bytes(), 4 * r2.footprint_bytes());
+    }
+
+    #[test]
+    fn scalar_reduction_accumulates() {
+        let s = ScalarReduction::new();
+        parallel_for(3, 30, |_, _| s.add(0.5));
+        assert_eq!(s.finish(), 15.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Brute-force model enumeration over small domains.
+//!
+//! Used by tests (including property tests) to cross-validate the solver:
+//! whenever the solver answers `Unsat`, no assignment over any finite
+//! domain may satisfy the assertions; whenever brute force finds a model,
+//! the solver must not answer `Unsat`.
+//!
+//! Only free symbols are enumerated; formulas containing opaque atoms
+//! (uninterpreted applications etc.) are rejected since their semantics
+//! would need function enumeration.
+
+use std::collections::HashMap;
+
+use crate::formula::{Clause, Formula, Literal, Rel};
+use crate::linexpr::{AtomKey, AtomTable, LinExpr};
+
+/// A satisfying assignment, symbol name → value.
+pub type Model = HashMap<String, i64>;
+
+/// Exhaustively search `lo..=hi` per symbol for a model of `formulas`.
+/// Returns `Err` if a non-symbol atom appears, `Ok(None)` if no model
+/// exists in the box, `Ok(Some(model))` otherwise.
+pub fn find_model(
+    formulas: &[Formula],
+    table: &AtomTable,
+    lo: i64,
+    hi: i64,
+) -> Result<Option<Model>, String> {
+    let clauses: Vec<Clause> = formulas.iter().flat_map(|f| f.clone().to_cnf()).collect();
+
+    // Collect atoms, reject opaque ones.
+    let mut atoms: Vec<(u32, String)> = Vec::new();
+    for c in &clauses {
+        for l in &c.lits {
+            for a in l.expr.atoms() {
+                match table.key(a) {
+                    AtomKey::Sym(name) => {
+                        if !atoms.iter().any(|(id, _)| *id == a.0) {
+                            atoms.push((a.0, name.clone()));
+                        }
+                    }
+                    other => return Err(format!("opaque atom {other:?} not enumerable")),
+                }
+            }
+        }
+    }
+
+    let width = (hi - lo + 1) as u64;
+    let n = atoms.len() as u32;
+    let total = width.checked_pow(n).ok_or("domain too large")?;
+    if total > 20_000_000 {
+        return Err(format!("domain too large: {total} assignments"));
+    }
+
+    let mut values: HashMap<u32, i64> = HashMap::new();
+    'outer: for k in 0..total {
+        let mut rem = k;
+        for (id, _) in &atoms {
+            values.insert(*id, lo + (rem % width) as i64);
+            rem /= width;
+        }
+        for c in &clauses {
+            if !clause_holds(c, &values) {
+                continue 'outer;
+            }
+        }
+        let model = atoms
+            .iter()
+            .map(|(id, name)| (name.clone(), values[id]))
+            .collect();
+        return Ok(Some(model));
+    }
+    Ok(None)
+}
+
+fn clause_holds(c: &Clause, values: &HashMap<u32, i64>) -> bool {
+    c.lits.iter().any(|l| lit_holds(l, values))
+}
+
+fn lit_holds(l: &Literal, values: &HashMap<u32, i64>) -> bool {
+    let v = eval(&l.expr, values);
+    match l.rel {
+        Rel::Eq => v == 0,
+        Rel::Ne => v != 0,
+        Rel::Le => v <= 0,
+    }
+}
+
+fn eval(e: &LinExpr, values: &HashMap<u32, i64>) -> i128 {
+    let mut acc = e.constant;
+    for (a, c) in &e.terms {
+        acc += c * values[&a.0] as i128;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::solver::{SatResult, Solver};
+    use crate::term::Term;
+
+    #[test]
+    fn finds_model_for_simple_system() {
+        let mut table = AtomTable::new();
+        let f1 = Formula::term_ne(&Term::sym("x"), &Term::sym("y"), &mut table).unwrap();
+        let f2 =
+            Formula::term_eq(&(Term::sym("x") + Term::int(1)), &Term::sym("y"), &mut table)
+                .unwrap();
+        let m = find_model(&[f1, f2], &table, -2, 2).unwrap().unwrap();
+        assert_eq!(m["y"], m["x"] + 1);
+    }
+
+    #[test]
+    fn no_model_when_unsat() {
+        let mut table = AtomTable::new();
+        let f1 = Formula::term_eq(&Term::sym("x"), &Term::sym("y"), &mut table).unwrap();
+        let f2 = Formula::term_ne(&Term::sym("x"), &Term::sym("y"), &mut table).unwrap();
+        assert!(find_model(&[f1, f2], &table, -3, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn opaque_atoms_rejected() {
+        let mut table = AtomTable::new();
+        let f = Formula::term_eq(
+            &Term::app("c", vec![Term::sym("i")]),
+            &Term::int(0),
+            &mut table,
+        )
+        .unwrap();
+        assert!(find_model(&[f], &table, 0, 1).is_err());
+    }
+
+    #[test]
+    fn agreement_with_solver_on_small_instances() {
+        // Cross-check: for a handful of hand-picked systems, solver UNSAT
+        // must imply brute-force finds nothing.
+        let cases: Vec<Vec<(&str, &str, bool)>> = vec![
+            vec![("x", "y", true), ("x", "y", false)], // eq + ne → unsat
+            vec![("x", "y", true), ("y", "z", true), ("x", "z", false)], // transitivity
+            vec![("x", "y", false), ("y", "z", false)], // sat
+        ];
+        for case in cases {
+            let mut s = Solver::new();
+            let mut fs = Vec::new();
+            for (a, b, eq) in case {
+                let f = if eq {
+                    Formula::term_eq(&Term::sym(a), &Term::sym(b), &mut s.table).unwrap()
+                } else {
+                    Formula::term_ne(&Term::sym(a), &Term::sym(b), &mut s.table).unwrap()
+                };
+                s.assert(f.clone());
+                fs.push(f);
+            }
+            let solver_result = s.check();
+            let brute = find_model(&fs, &s.table, -2, 2).unwrap();
+            if solver_result == SatResult::Unsat {
+                assert!(brute.is_none(), "solver unsat but model found");
+            }
+            if brute.is_some() {
+                assert_ne!(solver_result, SatResult::Unsat);
+            }
+        }
+    }
+}

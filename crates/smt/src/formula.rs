@@ -1,0 +1,360 @@
+//! Literals, clauses, and formulas, with conversion to CNF.
+
+use crate::linexpr::{AtomTable, LinExpr, NormalizeError};
+use crate::term::Term;
+
+/// Relation of a literal `e ⋈ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `e = 0`.
+    Eq,
+    /// `e ≠ 0`.
+    Ne,
+    /// `e ≤ 0`.
+    Le,
+}
+
+/// An atomic constraint `expr ⋈ 0` over integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    pub rel: Rel,
+    pub expr: LinExpr,
+}
+
+impl Literal {
+    /// `a = b`.
+    pub fn eq(a: LinExpr, b: LinExpr) -> Literal {
+        Literal {
+            rel: Rel::Eq,
+            expr: a.sub(&b),
+        }
+    }
+
+    /// `a ≠ b`.
+    pub fn ne(a: LinExpr, b: LinExpr) -> Literal {
+        Literal {
+            rel: Rel::Ne,
+            expr: a.sub(&b),
+        }
+    }
+
+    /// `a ≤ b`.
+    pub fn le(a: LinExpr, b: LinExpr) -> Literal {
+        Literal {
+            rel: Rel::Le,
+            expr: a.sub(&b),
+        }
+    }
+
+    /// `a < b` (integer-tightened to `a - b + 1 ≤ 0`).
+    pub fn lt(a: LinExpr, b: LinExpr) -> Literal {
+        let mut e = a.sub(&b);
+        e.constant += 1;
+        Literal { rel: Rel::Le, expr: e }
+    }
+
+    /// Logical negation.
+    pub fn negate(&self) -> Literal {
+        match self.rel {
+            Rel::Eq => Literal {
+                rel: Rel::Ne,
+                expr: self.expr.clone(),
+            },
+            Rel::Ne => Literal {
+                rel: Rel::Eq,
+                expr: self.expr.clone(),
+            },
+            // ¬(e ≤ 0) ⇔ e ≥ 1 ⇔ -e + 1 ≤ 0 (integers).
+            Rel::Le => {
+                let mut e = self.expr.scale(-1);
+                e.constant += 1;
+                Literal { rel: Rel::Le, expr: e }
+            }
+        }
+    }
+
+    /// If the literal is ground (constant expression), evaluate it.
+    pub fn const_value(&self) -> Option<bool> {
+        if !self.expr.is_const() {
+            return None;
+        }
+        let c = self.expr.constant;
+        Some(match self.rel {
+            Rel::Eq => c == 0,
+            Rel::Ne => c != 0,
+            Rel::Le => c <= 0,
+        })
+    }
+}
+
+/// A formula over literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    Lit(Literal),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Not(Box<Formula>),
+    True,
+    False,
+}
+
+impl Formula {
+    /// Conjunction helper.
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        Formula::And(fs)
+    }
+
+    /// Disjunction helper.
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        Formula::Or(fs)
+    }
+
+    /// Build `a = b` from terms, normalizing into the table.
+    pub fn term_eq(a: &Term, b: &Term, table: &mut AtomTable) -> Result<Formula, NormalizeError> {
+        let a = crate::linexpr::normalize(a, table)?;
+        let b = crate::linexpr::normalize(b, table)?;
+        Ok(Formula::Lit(Literal::eq(a, b)))
+    }
+
+    /// Build `a ≠ b` from terms.
+    pub fn term_ne(a: &Term, b: &Term, table: &mut AtomTable) -> Result<Formula, NormalizeError> {
+        let a = crate::linexpr::normalize(a, table)?;
+        let b = crate::linexpr::normalize(b, table)?;
+        Ok(Formula::Lit(Literal::ne(a, b)))
+    }
+
+    /// Tuple disjointness: `¬(a₁=b₁ ∧ … ∧ aₖ=bₖ)`, i.e. `⋁ aᵢ≠bᵢ`.
+    /// This is the paper's "indices are disjoint" assertion generalized to
+    /// multi-dimensional arrays.
+    pub fn tuple_ne(
+        a: &[Term],
+        b: &[Term],
+        table: &mut AtomTable,
+    ) -> Result<Formula, NormalizeError> {
+        assert_eq!(a.len(), b.len(), "tuple arity mismatch");
+        let mut lits = Vec::with_capacity(a.len());
+        for (x, y) in a.iter().zip(b) {
+            lits.push(Formula::term_ne(x, y, table)?);
+        }
+        Ok(Formula::Or(lits))
+    }
+
+    /// Tuple equality: `a₁=b₁ ∧ … ∧ aₖ=bₖ` (used when *querying* whether two
+    /// adjoint references can collide).
+    pub fn tuple_eq(
+        a: &[Term],
+        b: &[Term],
+        table: &mut AtomTable,
+    ) -> Result<Formula, NormalizeError> {
+        assert_eq!(a.len(), b.len(), "tuple arity mismatch");
+        let mut lits = Vec::with_capacity(a.len());
+        for (x, y) in a.iter().zip(b) {
+            lits.push(Formula::term_eq(x, y, table)?);
+        }
+        Ok(Formula::And(lits))
+    }
+
+    /// Negation-normal form (push `Not` to literals).
+    fn nnf(self, negated: bool) -> Formula {
+        match self {
+            Formula::Lit(l) => {
+                if negated {
+                    Formula::Lit(l.negate())
+                } else {
+                    Formula::Lit(l)
+                }
+            }
+            Formula::Not(f) => f.nnf(!negated),
+            Formula::And(fs) => {
+                let inner: Vec<Formula> = fs.into_iter().map(|f| f.nnf(negated)).collect();
+                if negated {
+                    Formula::Or(inner)
+                } else {
+                    Formula::And(inner)
+                }
+            }
+            Formula::Or(fs) => {
+                let inner: Vec<Formula> = fs.into_iter().map(|f| f.nnf(negated)).collect();
+                if negated {
+                    Formula::And(inner)
+                } else {
+                    Formula::Or(inner)
+                }
+            }
+            Formula::True => {
+                if negated {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negated {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+        }
+    }
+
+    /// Convert to CNF clauses (each clause a disjunction of literals).
+    /// Distribution is naive; FormAD formulas are tiny (tuple arity ≤ 4).
+    pub fn to_cnf(self) -> Vec<Clause> {
+        let f = self.nnf(false);
+        let mut clauses = cnf(f);
+        // Drop trivially-true clauses, simplify ground literals.
+        clauses.retain_mut(|c| {
+            let mut keep = Vec::new();
+            for lit in c.lits.drain(..) {
+                match lit.const_value() {
+                    Some(true) => return false, // clause satisfied
+                    Some(false) => {}           // drop literal
+                    None => keep.push(lit),
+                }
+            }
+            c.lits = keep;
+            true
+        });
+        clauses
+    }
+}
+
+/// A disjunction of literals. The empty clause is unsatisfiable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    pub lits: Vec<Literal>,
+}
+
+fn cnf(f: Formula) -> Vec<Clause> {
+    match f {
+        Formula::Lit(l) => vec![Clause { lits: vec![l] }],
+        Formula::True => vec![],
+        Formula::False => vec![Clause { lits: vec![] }],
+        Formula::And(fs) => fs.into_iter().flat_map(cnf).collect(),
+        Formula::Or(fs) => {
+            // Cartesian product of the operands' clause sets.
+            let mut acc: Vec<Clause> = vec![Clause { lits: vec![] }];
+            for sub in fs {
+                let sub_clauses = cnf(sub);
+                let mut next = Vec::with_capacity(acc.len() * sub_clauses.len().max(1));
+                if sub_clauses.is_empty() {
+                    // OR with True = True: whole disjunction satisfied.
+                    return vec![];
+                }
+                for a in &acc {
+                    for s in &sub_clauses {
+                        let mut lits = a.lits.clone();
+                        lits.extend(s.lits.iter().cloned());
+                        next.push(Clause { lits });
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Not(_) => unreachable!("nnf removed all Nots"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::AtomTable;
+    use crate::term::Term;
+
+    #[test]
+    fn negate_le_is_integer_tight() {
+        let mut tab = AtomTable::new();
+        let x = crate::linexpr::normalize(&Term::sym("x"), &mut tab).unwrap();
+        let l = Literal::le(x.clone(), LinExpr::constant(0)); // x <= 0
+        let n = l.negate(); // -x + 1 <= 0 i.e. x >= 1
+        assert_eq!(n.rel, Rel::Le);
+        assert_eq!(n.expr.constant, 1);
+        assert_eq!(n.expr.terms[0].1, -1);
+    }
+
+    #[test]
+    fn lt_tightens() {
+        let mut tab = AtomTable::new();
+        let x = crate::linexpr::normalize(&Term::sym("x"), &mut tab).unwrap();
+        let l = Literal::lt(x, LinExpr::constant(5)); // x < 5 -> x - 4 <= 0
+        assert_eq!(l.expr.constant, -4);
+    }
+
+    #[test]
+    fn tuple_ne_builds_disjunction() {
+        let mut tab = AtomTable::new();
+        let f = Formula::tuple_ne(
+            &[Term::sym("a"), Term::sym("b")],
+            &[Term::sym("c"), Term::sym("d")],
+            &mut tab,
+        )
+        .unwrap();
+        let clauses = f.to_cnf();
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].lits.len(), 2);
+        assert!(clauses[0].lits.iter().all(|l| l.rel == Rel::Ne));
+    }
+
+    #[test]
+    fn tuple_eq_builds_conjunction() {
+        let mut tab = AtomTable::new();
+        let f = Formula::tuple_eq(
+            &[Term::sym("a"), Term::sym("b")],
+            &[Term::sym("c"), Term::sym("d")],
+            &mut tab,
+        )
+        .unwrap();
+        let clauses = f.to_cnf();
+        assert_eq!(clauses.len(), 2);
+        assert!(clauses.iter().all(|c| c.lits.len() == 1));
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        let mut tab = AtomTable::new();
+        let a = crate::linexpr::normalize(&Term::sym("a"), &mut tab).unwrap();
+        let b = crate::linexpr::normalize(&Term::sym("b"), &mut tab).unwrap();
+        let c = crate::linexpr::normalize(&Term::sym("c"), &mut tab).unwrap();
+        let zero = LinExpr::constant(0);
+        // a=0 ∨ (b=0 ∧ c=0)  →  (a=0 ∨ b=0) ∧ (a=0 ∨ c=0)
+        let f = Formula::Or(vec![
+            Formula::Lit(Literal::eq(a, zero.clone())),
+            Formula::And(vec![
+                Formula::Lit(Literal::eq(b, zero.clone())),
+                Formula::Lit(Literal::eq(c, zero)),
+            ]),
+        ]);
+        let clauses = f.to_cnf();
+        assert_eq!(clauses.len(), 2);
+        assert!(clauses.iter().all(|cl| cl.lits.len() == 2));
+    }
+
+    #[test]
+    fn ground_simplification() {
+        // 0 = 0 is true: clause drops entirely.
+        let f = Formula::Lit(Literal::eq(LinExpr::constant(0), LinExpr::constant(0)));
+        assert!(f.to_cnf().is_empty());
+        // 1 = 0 is false: empty clause remains.
+        let f = Formula::Lit(Literal::eq(LinExpr::constant(1), LinExpr::constant(0)));
+        let c = f.to_cnf();
+        assert_eq!(c.len(), 1);
+        assert!(c[0].lits.is_empty());
+    }
+
+    #[test]
+    fn not_pushes_through() {
+        let mut tab = AtomTable::new();
+        let a = crate::linexpr::normalize(&Term::sym("a"), &mut tab).unwrap();
+        let zero = LinExpr::constant(0);
+        // ¬(a=0 ∧ a≤0) → a≠0 ∨ a≥1
+        let f = Formula::Not(Box::new(Formula::And(vec![
+            Formula::Lit(Literal::eq(a.clone(), zero.clone())),
+            Formula::Lit(Literal::le(a, zero)),
+        ])));
+        let clauses = f.to_cnf();
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].lits.len(), 2);
+    }
+}

@@ -1,0 +1,656 @@
+//! The incremental solver: assertion stack, disequality/clause splitting,
+//! and statistics. This is the component that stands in for Z3 in the
+//! paper's pipeline (§5.5, §6).
+
+use std::collections::BTreeSet;
+
+use crate::fm::{feasible, Feasibility, FmBudget};
+use crate::formula::{Clause, Formula, Literal, Rel};
+use crate::linexpr::{AtomId, AtomKey, AtomTable, LinExpr};
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A model (almost certainly) exists.
+    Sat,
+    /// Provably no integer model exists.
+    Unsat,
+    /// Budget exhausted; callers must treat this like `Sat` (keep
+    /// safeguards).
+    Unknown,
+}
+
+/// Counters mirroring the statistics of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `check()` calls (the paper's "queries").
+    pub checks: u64,
+    /// Number of assertions currently or ever added (the paper's
+    /// "Z3 size" accumulates per model; see `assertions_added`).
+    pub assertions_added: u64,
+    /// Number of calls into the linear feasibility core.
+    pub lia_calls: u64,
+    /// Number of branch nodes explored by the splitter.
+    pub branches: u64,
+}
+
+/// Work limits for a single `check()`.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverBudget {
+    /// Maximum feasibility-core invocations per check.
+    pub max_lia_calls: u64,
+    /// Maximum branch nodes per check.
+    pub max_branches: u64,
+    /// Limits for each feasibility-core run.
+    pub fm: FmBudget,
+}
+
+impl Default for SolverBudget {
+    fn default() -> Self {
+        SolverBudget {
+            max_lia_calls: 500_000,
+            max_branches: 100_000,
+            fm: FmBudget::default(),
+        }
+    }
+}
+
+/// An incremental SMT-style solver for quantifier-free linear integer
+/// arithmetic over free atoms (symbols and opaque applications).
+///
+/// Supports `push`/`pop` scopes exactly like the Z3 API used in the paper,
+/// so the knowledge-exploitation procedure (`testVar`) can temporarily add
+/// a candidate-conflict equality and retract it.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Atom interner shared by all assertions.
+    pub table: AtomTable,
+    clauses: Vec<Clause>,
+    frames: Vec<usize>,
+    /// Statistics accumulated over the solver's lifetime.
+    pub stats: SolverStats,
+    budget: SolverBudget,
+}
+
+impl Solver {
+    /// Create a solver with default budgets.
+    pub fn new() -> Solver {
+        Solver {
+            table: AtomTable::new(),
+            clauses: Vec::new(),
+            frames: Vec::new(),
+            stats: SolverStats::default(),
+            budget: SolverBudget::default(),
+        }
+    }
+
+    /// Create a solver with a custom budget.
+    pub fn with_budget(budget: SolverBudget) -> Solver {
+        Solver {
+            budget,
+            ..Solver::new()
+        }
+    }
+
+    /// Number of asserted clauses currently on the stack.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Push a backtracking point.
+    pub fn push(&mut self) {
+        self.frames.push(self.clauses.len());
+    }
+
+    /// Pop to the previous backtracking point.
+    pub fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        self.clauses.truncate(mark);
+    }
+
+    /// Assert a formula (converted to CNF clauses).
+    pub fn assert(&mut self, f: Formula) {
+        let clauses = f.to_cnf();
+        self.stats.assertions_added += 1;
+        self.clauses.extend(clauses);
+    }
+
+    /// Check satisfiability of all assertions on the stack.
+    pub fn check(&mut self) -> SatResult {
+        self.stats.checks += 1;
+        let mut ctx = SearchCtx {
+            budget: self.budget,
+            lia_calls: 0,
+            branches: 0,
+            table: &self.table,
+        };
+        let clauses: Vec<Clause> = self.clauses.clone();
+        let result = search(&Committed::default(), &clauses, &mut ctx);
+        self.stats.lia_calls += ctx.lia_calls;
+        self.stats.branches += ctx.branches;
+        result
+    }
+
+    /// `push(); assert(f); check(); pop();` in one call.
+    pub fn check_with(&mut self, f: Formula) -> SatResult {
+        self.push();
+        self.assert(f);
+        let r = self.check();
+        self.pop();
+        r
+    }
+}
+
+/// The set of literals committed on the current branch.
+#[derive(Debug, Clone, Default)]
+struct Committed {
+    eqs: Vec<LinExpr>,
+    ineqs: Vec<LinExpr>,
+    nes: Vec<LinExpr>,
+}
+
+impl Committed {
+    fn with(&self, lit: &Literal) -> Committed {
+        let mut c = self.clone();
+        match lit.rel {
+            Rel::Eq => c.eqs.push(lit.expr.clone()),
+            Rel::Le => c.ineqs.push(lit.expr.clone()),
+            Rel::Ne => c.nes.push(lit.expr.clone()),
+        }
+        c
+    }
+}
+
+struct SearchCtx<'t> {
+    budget: SolverBudget,
+    lia_calls: u64,
+    branches: u64,
+    table: &'t AtomTable,
+}
+
+impl<'t> SearchCtx<'t> {
+    fn lia(&mut self, eqs: &[LinExpr], ineqs: &[LinExpr]) -> Feasibility {
+        if self.lia_calls >= self.budget.max_lia_calls {
+            return Feasibility::Unknown;
+        }
+        self.lia_calls += 1;
+        feasible(eqs, ineqs, &self.budget.fm)
+    }
+}
+
+/// Feasibility of the committed set alone. Disequalities are handled by the
+/// *independent* approximation: each `e ≠ 0` is refutable only if both
+/// `e ≤ -1` and `e ≥ 1` are infeasible against the Eq/Le core; if every
+/// disequality is individually satisfiable we report `Feasible`. This may
+/// report `Feasible` for jointly-unsatisfiable disequality sets — the
+/// conservative direction (a missed UNSAT keeps atomics in place).
+fn committed_feasible(c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
+    let core = ctx.lia(&c.eqs, &c.ineqs);
+    if core != Feasibility::Feasible {
+        return core;
+    }
+    let mut any_unknown = false;
+    for ne in &c.nes {
+        match ne_feasible(ne, c, ctx) {
+            Feasibility::Infeasible => return Feasibility::Infeasible,
+            Feasibility::Unknown => any_unknown = true,
+            Feasibility::Feasible => {}
+        }
+    }
+    if any_unknown {
+        Feasibility::Unknown
+    } else {
+        Feasibility::Feasible
+    }
+}
+
+/// Can `ne ≠ 0` hold together with the Eq/Le core of `c`?
+fn ne_feasible(ne: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
+    if ne.is_const() {
+        return if ne.constant != 0 {
+            Feasibility::Feasible
+        } else {
+            Feasibility::Infeasible
+        };
+    }
+    // e ≤ -1 side.
+    let mut lo = ne.clone();
+    lo.constant += 1;
+    let mut ineqs = c.ineqs.clone();
+    ineqs.push(lo);
+    let left = ctx.lia(&c.eqs, &ineqs);
+    if left == Feasibility::Feasible {
+        return Feasibility::Feasible;
+    }
+    // e ≥ 1 side: -e + 1 ≤ 0.
+    let mut hi = ne.scale(-1);
+    hi.constant += 1;
+    let mut ineqs = c.ineqs.clone();
+    ineqs.push(hi);
+    let right = ctx.lia(&c.eqs, &ineqs);
+    if right == Feasibility::Feasible {
+        return Feasibility::Feasible;
+    }
+    if left == Feasibility::Unknown || right == Feasibility::Unknown {
+        Feasibility::Unknown
+    } else {
+        Feasibility::Infeasible
+    }
+}
+
+/// Is literal `lit` jointly possible with committed set `c`?
+fn lit_feasible(lit: &Literal, c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
+    match lit.rel {
+        Rel::Ne => ne_feasible(&lit.expr, c, ctx),
+        _ => {
+            let trial = c.with(lit);
+            ctx.lia(&trial.eqs, &trial.ineqs)
+        }
+    }
+}
+
+/// Congruence closure over uninterpreted applications: whenever the
+/// committed equality core entails that two same-function applications
+/// have pairwise equal arguments, their equality is added to the core.
+/// This is the piece of Z3's EUF reasoning FormAD relies on when an index
+/// equality (e.g. a committed query `j = i`) must propagate through a
+/// gather like `c(j)`/`c(i)`.
+fn congruence_close(c: &mut Committed, ctx: &mut SearchCtx<'_>) {
+    // Collect application atoms reachable from the committed constraints.
+    let mut apps: BTreeSet<AtomId> = BTreeSet::new();
+    for e in c.eqs.iter().chain(&c.ineqs).chain(&c.nes) {
+        collect_apps(e, ctx.table, &mut apps);
+    }
+    if apps.len() < 2 {
+        return;
+    }
+    let apps: Vec<AtomId> = apps.into_iter().collect();
+    for _round in 0..3 {
+        let mut changed = false;
+        for i in 0..apps.len() {
+            for j in (i + 1)..apps.len() {
+                let (a, b) = (apps[i], apps[j]);
+                let (AtomKey::App(fa, args_a), AtomKey::App(fb, args_b)) =
+                    (ctx.table.key(a), ctx.table.key(b))
+                else {
+                    continue;
+                };
+                if fa != fb || args_a.len() != args_b.len() {
+                    continue;
+                }
+                let eq_atoms = LinExpr::atom(a).sub(&LinExpr::atom(b));
+                if entailed_zero(&eq_atoms, c, ctx) {
+                    continue; // already known equal
+                }
+                let all_args_equal = args_a
+                    .iter()
+                    .zip(args_b)
+                    .all(|(x, y)| entailed_zero(&x.sub(y), c, ctx));
+                if all_args_equal {
+                    c.eqs.push(eq_atoms);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Application atoms reachable from `e`, including through opaque args.
+fn collect_apps(e: &LinExpr, table: &AtomTable, out: &mut BTreeSet<AtomId>) {
+    for a in e.atoms() {
+        collect_apps_atom(a, table, out);
+    }
+}
+
+fn collect_apps_atom(a: AtomId, table: &AtomTable, out: &mut BTreeSet<AtomId>) {
+    match table.key(a) {
+        AtomKey::Sym(_) => {}
+        AtomKey::App(_, args) => {
+            if out.insert(a) {
+                for arg in args {
+                    collect_apps(arg, table, out);
+                }
+            }
+        }
+        AtomKey::MulOpaque(x, y) | AtomKey::DivOpaque(x, y) | AtomKey::ModOpaque(x, y) => {
+            collect_apps(x, table, out);
+            collect_apps(y, table, out);
+        }
+    }
+}
+
+/// Is `e = 0` entailed by the committed Eq/Le core? (Both strict sides
+/// must be infeasible; `Unknown` counts as not entailed — conservative.)
+fn entailed_zero(e: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> bool {
+    let mut lo = e.clone();
+    lo.constant += 1; // e ≤ -1
+    let mut ineqs = c.ineqs.clone();
+    ineqs.push(lo);
+    if ctx.lia(&c.eqs, &ineqs) != Feasibility::Infeasible {
+        return false;
+    }
+    let mut hi = e.scale(-1);
+    hi.constant += 1; // e ≥ 1
+    let mut ineqs = c.ineqs.clone();
+    ineqs.push(hi);
+    ctx.lia(&c.eqs, &ineqs) == Feasibility::Infeasible
+}
+
+fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResult {
+    ctx.branches += 1;
+    if ctx.branches > ctx.budget.max_branches {
+        return SatResult::Unknown;
+    }
+
+    // Unit propagation with feasibility-based literal pruning.
+    let mut committed = c.clone();
+    let mut live: Vec<Clause> = clauses.to_vec();
+    loop {
+        let mut changed = false;
+        let mut next: Vec<Clause> = Vec::with_capacity(live.len());
+        let mut saw_unknown = false;
+        for clause in live.into_iter() {
+            let mut kept: Vec<Literal> = Vec::with_capacity(clause.lits.len());
+            for lit in clause.lits.into_iter() {
+                match lit_feasible(&lit, &committed, ctx) {
+                    Feasibility::Infeasible => {
+                        changed = true; // literal pruned
+                    }
+                    Feasibility::Unknown => {
+                        saw_unknown = true;
+                        kept.push(lit);
+                    }
+                    Feasibility::Feasible => kept.push(lit),
+                }
+            }
+            match kept.len() {
+                0 => {
+                    // Every disjunct contradicts the committed set.
+                    return if saw_unknown {
+                        SatResult::Unknown
+                    } else {
+                        SatResult::Unsat
+                    };
+                }
+                1 => {
+                    committed = committed.with(&kept[0]);
+                    changed = true;
+                }
+                _ => next.push(Clause { lits: kept }),
+            }
+        }
+        live = next;
+        if !changed {
+            break;
+        }
+    }
+
+    // Propagate equalities through uninterpreted applications before the
+    // final feasibility verdicts (EUF-lite).
+    congruence_close(&mut committed, ctx);
+
+    if live.is_empty() {
+        return match committed_feasible(&committed, ctx) {
+            Feasibility::Feasible => SatResult::Sat,
+            Feasibility::Infeasible => SatResult::Unsat,
+            Feasibility::Unknown => SatResult::Unknown,
+        };
+    }
+
+    // Branch on the smallest clause.
+    let (idx, _) = live
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, cl)| cl.lits.len())
+        .expect("live is nonempty");
+    let clause = live[idx].clone();
+    let rest: Vec<Clause> = live
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| *k != idx)
+        .map(|(_, cl)| cl.clone())
+        .collect();
+
+    let mut any_unknown = false;
+    for lit in &clause.lits {
+        let child = committed.with(lit);
+        match search(&child, &rest, ctx) {
+            SatResult::Sat => return SatResult::Sat,
+            SatResult::Unknown => any_unknown = true,
+            SatResult::Unsat => {}
+        }
+    }
+    if any_unknown {
+        SatResult::Unknown
+    } else {
+        SatResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    fn sym(s: &str) -> Term {
+        Term::sym(s)
+    }
+
+    #[test]
+    fn figure2_example() {
+        // Knowledge: i ≠ i', c(i) ≠ c(i').
+        // Query: c(i)+7 == c(i')+7 must be UNSAT.
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("i"), &sym("i'"), &mut s.table).unwrap();
+        s.assert(f);
+        let ci = Term::app("c", vec![sym("i")]);
+        let cip = Term::app("c", vec![sym("i'")]);
+        let f = Formula::term_ne(&ci, &cip, &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        let q = Formula::term_eq(
+            &(ci.clone() + Term::int(7)),
+            &(cip.clone() + Term::int(7)),
+            &mut s.table,
+        )
+        .unwrap();
+        assert_eq!(s.check_with(q), SatResult::Unsat);
+        // A shifted query with a *different* offset is satisfiable.
+        let q2 = Formula::term_eq(&(ci + Term::int(7)), &cip, &mut s.table).unwrap();
+        assert_eq!(s.check_with(q2), SatResult::Sat);
+    }
+
+    #[test]
+    fn push_pop_restores_state() {
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.num_clauses(), 1);
+        s.push();
+        let g = Formula::term_eq(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(g);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn stride_two_parity() {
+        // i = from + 2k, i' = from + 2k', k ≠ k'; query i' = i - 1 → UNSAT.
+        let mut s = Solver::new();
+        let two = Term::int(2);
+        let f = Formula::term_eq(
+            &sym("i"),
+            &(sym("from") + two.clone() * sym("k")),
+            &mut s.table,
+        )
+        .unwrap();
+        s.assert(f);
+        let f = Formula::term_eq(
+            &sym("i'"),
+            &(sym("from") + two * sym("k'")),
+            &mut s.table,
+        )
+        .unwrap();
+        s.assert(f);
+        let f = Formula::term_ne(&sym("k"), &sym("k'"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        let q = Formula::term_eq(&sym("i'"), &(sym("i") - Term::int(1)), &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Unsat);
+        // Same-parity query i' = i + 2 is satisfiable.
+        let q = Formula::term_eq(&sym("i'"), &(sym("i") + Term::int(2)), &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+    }
+
+    #[test]
+    fn tuple_knowledge_gfmc_style() {
+        // Knowledge: ¬(idd' = idd ∧ j' = j)   (2-D write disjointness)
+        // Query: idd' = idd ∧ j' = j  → UNSAT.
+        let mut s = Solver::new();
+        let f = Formula::tuple_ne(
+            &[sym("idd'"), sym("j'")],
+            &[sym("idd"), sym("j")],
+            &mut s.table,
+        )
+        .unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        let q = Formula::tuple_eq(
+            &[sym("idd'"), sym("j'")],
+            &[sym("idd"), sym("j")],
+            &mut s.table,
+        )
+        .unwrap();
+        assert_eq!(s.check_with(q), SatResult::Unsat);
+        // Cross pair (idd', j') vs (iuu, j) not covered by this knowledge.
+        let q = Formula::tuple_eq(
+            &[sym("idd'"), sym("j'")],
+            &[sym("iuu"), sym("j")],
+            &mut s.table,
+        )
+        .unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+    }
+
+    #[test]
+    fn lbm_style_shifted_offsets_are_sat() {
+        // Knowledge from writes at (eb + n*(-14399) + i); query about an
+        // increment at (eb + 0·n + i) paired with (c + 0·n + i): no
+        // knowledge matches, stays SAT → atomics kept (paper §7.3).
+        let mut s = Solver::new();
+        let n = sym("n");
+        let w1 = sym("eb'") + n.clone() * Term::int(-14399) + sym("i'");
+        let w2 = sym("eb") + n.clone() * Term::int(-14399) + sym("i");
+        let f = Formula::term_ne(&w1, &w2, &mut s.table).unwrap();
+        s.assert(f);
+        let f = Formula::term_ne(&sym("i"), &sym("i'"), &mut s.table).unwrap();
+        s.assert(f);
+        let q = Formula::term_eq(
+            &(sym("eb'") + sym("i'")),
+            &(sym("c") + sym("i")),
+            &mut s.table,
+        )
+        .unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+    }
+
+    #[test]
+    fn clause_branching_finds_unsat_across_disjunction() {
+        // (x = 0 ∨ x = 1) ∧ x ≥ 2  → UNSAT needs branching both ways.
+        let mut s = Solver::new();
+        let x = crate::linexpr::normalize(&sym("x"), &mut s.table).unwrap();
+        let zero = LinExpr::constant(0);
+        let one = LinExpr::constant(1);
+        let two = LinExpr::constant(2);
+        s.assert(Formula::Or(vec![
+            Formula::Lit(crate::formula::Literal::eq(x.clone(), zero)),
+            Formula::Lit(crate::formula::Literal::eq(x.clone(), one)),
+        ]));
+        s.assert(Formula::Lit(crate::formula::Literal::le(two, x)));
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_solver_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("a"), &sym("b"), &mut s.table).unwrap();
+        s.assert(f);
+        s.check();
+        s.check();
+        assert_eq!(s.stats.checks, 2);
+        assert_eq!(s.stats.assertions_added, 1);
+        assert!(s.stats.lia_calls > 0);
+    }
+
+    #[test]
+    fn congruence_propagates_through_applications() {
+        // Knowledge: i ≠ i', c(i) ≠ c(i').
+        // Query commits j = i and asks whether c(j) can equal c(i'):
+        // only EUF reasoning (j = i ⇒ c(j) = c(i)) closes this.
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("i"), &sym("i'"), &mut s.table).unwrap();
+        s.assert(f);
+        let ci = Term::app("c", vec![sym("i")]);
+        let cip = Term::app("c", vec![sym("i'")]);
+        let cj = Term::app("c", vec![sym("j")]);
+        let f = Formula::term_ne(&ci, &cip, &mut s.table).unwrap();
+        s.assert(f);
+        s.push();
+        let f = Formula::term_eq(&sym("j"), &sym("i"), &mut s.table).unwrap();
+        s.assert(f);
+        let q = Formula::term_eq(&cj, &cip, &mut s.table).unwrap();
+        s.assert(q);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        // Without the j = i commitment the query is satisfiable.
+        let q = Formula::term_eq(&cj, &cip, &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+    }
+
+    #[test]
+    fn congruence_respects_argument_disequality() {
+        // j ≠ i gives no grounds to equate c(j) and c(i); both outcomes
+        // must remain possible (SAT for equality and for disequality).
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("j"), &sym("i"), &mut s.table).unwrap();
+        s.assert(f);
+        let ci = Term::app("c", vec![sym("i")]);
+        let cj = Term::app("c", vec![sym("j")]);
+        let q = Formula::term_eq(&cj, &ci, &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+        let q = Formula::term_ne(&cj, &ci, &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Sat);
+    }
+
+    #[test]
+    fn nested_application_congruence() {
+        // d(c(j)) vs d(c(i)) with j = i: needs two closure rounds.
+        let mut s = Solver::new();
+        let dci = Term::app("d", vec![Term::app("c", vec![sym("i")])]);
+        let dcj = Term::app("d", vec![Term::app("c", vec![sym("j")])]);
+        let f = Formula::term_eq(&sym("j"), &sym("i"), &mut s.table).unwrap();
+        s.assert(f);
+        let q = Formula::term_ne(&dcj, &dci, &mut s.table).unwrap();
+        assert_eq!(s.check_with(q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn contradictory_ground_assertion() {
+        let mut s = Solver::new();
+        let f = Formula::term_eq(&Term::int(1), &Term::int(2), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,195 @@
+//! Input term language of the prover.
+//!
+//! Terms are integer-valued expressions over symbols (loop counters,
+//! instanced scalar variables) and uninterpreted function applications
+//! (integer-array reads used inside index expressions, e.g. `c(i)` in
+//! Figure 2 of the paper). Products of two non-constant terms, divisions,
+//! and modulos are treated as *opaque* atoms — a sound over-approximation
+//! (the solver learns nothing about them, so it can only fail towards
+//! "maybe equal", which keeps safeguards in place).
+
+use std::fmt;
+
+/// An integer-valued term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// Integer constant.
+    Int(i64),
+    /// Free integer symbol (name carries instance number / prime marks).
+    Sym(String),
+    /// Uninterpreted function application, e.g. `c(i)`.
+    App(String, Vec<Term>),
+    /// Sum.
+    Add(Box<Term>, Box<Term>),
+    /// Difference.
+    Sub(Box<Term>, Box<Term>),
+    /// Product.
+    Mul(Box<Term>, Box<Term>),
+    /// Negation.
+    Neg(Box<Term>),
+    /// Truncated division (opaque to the linear core).
+    Div(Box<Term>, Box<Term>),
+    /// Modulo (opaque to the linear core).
+    Mod(Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// Symbol shorthand.
+    pub fn sym(name: impl Into<String>) -> Term {
+        Term::Sym(name.into())
+    }
+
+    /// Constant shorthand.
+    pub fn int(v: i64) -> Term {
+        Term::Int(v)
+    }
+
+    /// Uninterpreted application shorthand.
+    pub fn app(f: impl Into<String>, args: Vec<Term>) -> Term {
+        Term::App(f.into(), args)
+    }
+
+    /// Rename every symbol through `f` (used for priming private variables,
+    /// paper §5.3). Function names are renamed too when `rename_funs` — a
+    /// private *array* read on one side of a pair must also be distinct.
+    pub fn rename_syms(&self, f: &impl Fn(&str) -> String, rename_funs: bool) -> Term {
+        match self {
+            Term::Int(v) => Term::Int(*v),
+            Term::Sym(s) => Term::Sym(f(s)),
+            Term::App(name, args) => {
+                let name = if rename_funs { f(name) } else { name.clone() };
+                Term::App(
+                    name,
+                    args.iter()
+                        .map(|a| a.rename_syms(f, rename_funs))
+                        .collect(),
+                )
+            }
+            Term::Add(a, b) => Term::Add(
+                Box::new(a.rename_syms(f, rename_funs)),
+                Box::new(b.rename_syms(f, rename_funs)),
+            ),
+            Term::Sub(a, b) => Term::Sub(
+                Box::new(a.rename_syms(f, rename_funs)),
+                Box::new(b.rename_syms(f, rename_funs)),
+            ),
+            Term::Mul(a, b) => Term::Mul(
+                Box::new(a.rename_syms(f, rename_funs)),
+                Box::new(b.rename_syms(f, rename_funs)),
+            ),
+            Term::Neg(a) => Term::Neg(Box::new(a.rename_syms(f, rename_funs))),
+            Term::Div(a, b) => Term::Div(
+                Box::new(a.rename_syms(f, rename_funs)),
+                Box::new(b.rename_syms(f, rename_funs)),
+            ),
+            Term::Mod(a, b) => Term::Mod(
+                Box::new(a.rename_syms(f, rename_funs)),
+                Box::new(b.rename_syms(f, rename_funs)),
+            ),
+        }
+    }
+
+    /// Collect all symbol names appearing in the term.
+    pub fn syms(&self, out: &mut Vec<String>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Sym(s) => {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.syms(out);
+                }
+            }
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Div(a, b)
+            | Term::Mod(a, b) => {
+                a.syms(out);
+                b.syms(out);
+            }
+            Term::Neg(a) => a.syms(out),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Sym(s) => write!(f, "{s}"),
+            Term::App(name, args) => {
+                write!(f, "{name}(")?;
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Neg(a) => write!(f, "(-{a})"),
+            Term::Div(a, b) => write!(f, "({a} / {b})"),
+            Term::Mod(a, b) => write!(f, "({a} mod {b})"),
+        }
+    }
+}
+
+impl std::ops::Add for Term {
+    type Output = Term;
+    fn add(self, rhs: Term) -> Term {
+        Term::Add(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Sub for Term {
+    type Output = Term;
+    fn sub(self, rhs: Term) -> Term {
+        Term::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Mul for Term {
+    type Output = Term;
+    fn mul(self, rhs: Term) -> Term {
+        Term::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_primes_symbols_and_app_args() {
+        let t = Term::app("c", vec![Term::sym("i")]) + Term::sym("j");
+        let primed = t.rename_syms(&|s| format!("{s}'"), false);
+        assert_eq!(
+            primed,
+            Term::app("c", vec![Term::sym("i'")]) + Term::sym("j'")
+        );
+    }
+
+    #[test]
+    fn rename_funs_when_requested() {
+        let t = Term::app("c", vec![Term::sym("i")]);
+        let primed = t.rename_syms(&|s| format!("{s}'"), true);
+        assert_eq!(primed, Term::app("c'", vec![Term::sym("i'")]));
+    }
+
+    #[test]
+    fn syms_collects_nested() {
+        let t = Term::app("mss", vec![Term::int(1), Term::sym("ig"), Term::sym("k12")])
+            * Term::sym("w");
+        let mut s = Vec::new();
+        t.syms(&mut s);
+        assert_eq!(s, vec!["ig", "k12", "w"]);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let t = (Term::sym("i") - Term::int(1)) * Term::int(2);
+        assert_eq!(t.to_string(), "((i - 1) * 2)");
+    }
+}

@@ -1,0 +1,48 @@
+//! GFMC spin exchange (paper §7.2): why loop fission matters for AD.
+//!
+//! The fused kernel (GFMC*) contains one gather the analysis cannot
+//! relate to the write set, so *every* adjoint increment to `cr` must be
+//! guarded. Splitting the computation into two parallel loops (GFMC)
+//! gives FormAD enough structure to prove the whole adjoint race-free.
+//!
+//! ```sh
+//! cargo run --release --example gfmc_spin_exchange
+//! ```
+
+use formad::{Decision, Formad, FormadOptions};
+use formad_ir::program_to_string;
+use formad_kernels::GfmcCase;
+
+fn main() {
+    let case = GfmcCase::new(32, 1);
+    let tool = Formad::new(FormadOptions::new(
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    ));
+
+    println!("==== fused kernel (GFMC*) ====");
+    let fused = case.ir_star();
+    let a = tool.analyze(&fused).expect("analyze");
+    print!("{}", formad::full_report(&fused.name, &a));
+    let guarded = matches!(a.regions[0].decisions.get("cr"), Some(Decision::Guarded(_)));
+    assert!(guarded, "fused version must be rejected");
+    let adj = tool.differentiate(&fused).expect("differentiate").adjoint;
+    let atomics = program_to_string(&adj)
+        .matches("!$omp atomic")
+        .count();
+    println!("=> generated adjoint contains {atomics} atomic update(s)\n");
+
+    println!("==== split kernel (GFMC) ====");
+    let split = case.ir();
+    let a = tool.analyze(&split).expect("analyze");
+    print!("{}", formad::full_report(&split.name, &a));
+    assert!(a.all_safe(), "split version must be proven safe");
+    let adj = tool.differentiate(&split).expect("differentiate").adjoint;
+    let atomics = program_to_string(&adj).matches("!$omp atomic").count();
+    println!("=> generated adjoint contains {atomics} atomic update(s)");
+    assert_eq!(atomics, 0);
+
+    println!("\nsplitting the loop turned a fully-guarded adjoint into a");
+    println!("guard-free one — the transformation the paper's Figures 7/8");
+    println!("quantify at 5.9x runtime difference on 18 cores.");
+}

@@ -1,0 +1,134 @@
+//! Adjoint sensitivity of a 2-D heat equation — and why the paper's §7.1
+//! uses the "compact" stencil scheme.
+//!
+//! A *conventional* 5-point stencil reads neighbours it does not write:
+//! its adjoint scatters increments to `ub(i, j±1)`, which genuinely
+//! collide across parallel iterations. FormAD correctly refuses to remove
+//! the safeguards — the generated adjoint carries atomics and still
+//! computes the exact gradient (verified against finite differences
+//! below). The compact scheme (see `formad_kernels::StencilCase` and the
+//! `stencil_scaling` example) restructures the loop so read and write
+//! sets coincide, which is what lets FormAD prove the adjoint guard-free.
+//!
+//! ```sh
+//! cargo run --release --example heat_sensitivity
+//! ```
+
+use formad::{Decision, Formad, FormadOptions};
+use formad_ir::parse_program;
+use formad_machine::{dot_product_test, run, Bindings, Machine};
+
+const HEAT: &str = r#"
+subroutine heat(nx, ny, nsteps, alpha, u, unext)
+  integer, intent(in) :: nx, ny, nsteps
+  real, intent(in) :: alpha
+  real, intent(inout) :: u(nx, ny)
+  real, intent(inout) :: unext(nx, ny)
+  integer :: step, i, j
+  do step = 1, nsteps
+    !$omp parallel do shared(u, unext) private(i)
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        unext(i, j) = u(i, j) + alpha * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1) - 4.0 * u(i, j))
+      end do
+    end do
+    !$omp parallel do shared(u, unext) private(i)
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        u(i, j) = unext(i, j)
+      end do
+    end do
+  end do
+end subroutine
+"#;
+
+fn main() {
+    let (nx, ny, nsteps) = (24usize, 16usize, 4usize);
+    let primal = parse_program(HEAT).expect("parse");
+
+    let tool = Formad::new(FormadOptions::new(&["u"], &["u"]));
+    let result = tool.differentiate(&primal).expect("differentiate");
+    print!("{}", formad::full_report(&primal.name, &result.analysis));
+
+    // The diffusion loop reads u at (i, j−1) and (i, j+1): iterations j
+    // and j+2 both increment ub(i, j+1) in the adjoint — a *real*
+    // conflict, correctly detected. (This is the paper's motivation for
+    // the compact scheme of §7.1, whose read set equals its write set.)
+    let diffusion = &result.analysis.regions[0];
+    assert!(
+        matches!(diffusion.decisions.get("u"), Some(Decision::Guarded(_))),
+        "conventional stencil adjoint must be guarded"
+    );
+    // The copy loop's accesses are affine and conflict-free.
+    let copy = &result.analysis.regions[1];
+    assert!(copy.decisions.values().all(|d| matches!(d, Decision::Shared)));
+
+    let text = formad_ir::program_to_string(&result.adjoint);
+    let n_atomics = text.matches("!$omp atomic").count();
+    println!("generated adjoint guards {n_atomics} increment site(s) with atomics\n");
+    assert!(n_atomics > 0);
+
+    // Initial condition: a hot spot.
+    let mut u0 = vec![0.0f64; nx * ny];
+    for j in 4..8 {
+        for i in 4..10 {
+            u0[(j - 1) * nx + (i - 1)] = 1.0;
+        }
+    }
+    let base = Bindings::new()
+        .int("nx", nx as i64)
+        .int("ny", ny as i64)
+        .int("nsteps", nsteps as i64)
+        .real("alpha", 0.15)
+        .real_array("u", u0.clone())
+        .real_array("unext", vec![0.0; nx * ny]);
+
+    let m = Machine::with_threads(8);
+    let mut b = base.clone();
+    run(&primal, &mut b, &m).expect("primal run");
+    let total: f64 = b.get_real_array("u").unwrap().iter().sum();
+    println!("heat after {nsteps} steps: Σu = {total:.6}");
+
+    // Gradient of J = Σ_center u_final w.r.t. the initial condition.
+    let mut seed = vec![0.0f64; nx * ny];
+    for j in ny / 2 - 2..ny / 2 + 2 {
+        for i in nx / 2 - 3..nx / 2 + 3 {
+            seed[j * nx + i] = 1.0;
+        }
+    }
+    let mut ba = base.clone();
+    ba.real_arrays.insert("ub".into(), seed.clone());
+    ba.real_arrays.insert("unextb".into(), vec![0.0; nx * ny]);
+    run(&result.adjoint, &mut ba, &m).expect("adjoint run");
+    let grad = ba.get_real_array("ub").unwrap();
+    let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+    println!(
+        "|dJ/du0| = {gnorm:.6} ({} nonzero sensitivities)",
+        grad.iter().filter(|g| g.abs() > 1e-12).count()
+    );
+    assert!(gnorm > 0.0);
+
+    // The atomically-guarded adjoint is still exact.
+    let v: Vec<f64> = (0..nx * ny).map(|k| ((k as f64) * 0.61).sin()).collect();
+    let t = dot_product_test(
+        &primal,
+        &result.adjoint,
+        &base,
+        &[("u", v)],
+        &[("u", seed)],
+        &m,
+        1e-6,
+        "b",
+    )
+    .expect("dot test");
+    println!(
+        "dot-product test: fd = {:.10}, adjoint = {:.10}, rel = {:.2e}",
+        t.fd_value, t.adjoint_value, t.rel_error
+    );
+    assert!(t.passes(1e-7));
+    println!("gradient of the heat solve verified ✓");
+    println!(
+        "\nto see FormAD *remove* the guards, restructure the stencil with the\n\
+         compact scheme — run the `stencil_scaling` example."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: differentiate a parallel loop with indirect memory access
+//! (Figure 2 of the paper) and watch FormAD prove the adjoint race-free.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use formad::{Formad, FormadOptions};
+use formad_ir::{parse_program, program_to_string};
+use formad_machine::{dot_product_test, Bindings, Machine};
+
+fn main() {
+    // The paper's Figure 2: a gather/scatter loop whose write indices are
+    // data-dependent. A classical parallelizer cannot prove the adjoint
+    // race-free; FormAD can, because the *primal's* parallelization
+    // already asserts that c(i) is one-to-one across iterations.
+    let src = r#"
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n + 7)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine
+"#;
+    let primal = parse_program(src).expect("parse");
+    println!("=== primal ===\n{}", program_to_string(&primal));
+
+    // Differentiate y with respect to x.
+    let tool = Formad::new(FormadOptions::new(&["x"], &["y"]));
+    let result = tool.differentiate(&primal).expect("differentiate");
+
+    println!("=== FormAD analysis ===");
+    print!("{}", formad::full_report(&primal.name, &result.analysis));
+    assert!(result.analysis.all_safe());
+
+    println!("\n=== generated adjoint (no atomics!) ===");
+    println!("{}", program_to_string(&result.adjoint));
+
+    // Validate against finite differences on the simulated machine.
+    let n = 10usize;
+    let c: Vec<i64> = (1..=n as i64).rev().collect(); // a permutation
+    let base = Bindings::new()
+        .int("n", n as i64)
+        .int_array("c", c)
+        .real_array("x", (0..n + 7).map(|k| (k as f64 * 0.31).sin()).collect())
+        .real_array("y", vec![0.0; n]);
+    let v: Vec<f64> = (0..n + 7).map(|k| (k as f64 * 0.17).cos()).collect();
+    let w: Vec<f64> = (0..n).map(|k| 1.0 + k as f64 * 0.1).collect();
+    let t = dot_product_test(
+        &primal,
+        &result.adjoint,
+        &base,
+        &[("x", v)],
+        &[("y", w)],
+        &Machine::with_threads(4),
+        1e-6,
+        "b",
+    )
+    .expect("execution");
+    println!(
+        "dot-product test: fd = {:.12}, adjoint = {:.12}, rel. error = {:.2e}",
+        t.fd_value, t.adjoint_value, t.rel_error
+    );
+    assert!(t.passes(1e-8));
+    println!("adjoint verified against finite differences ✓");
+}

@@ -1,0 +1,39 @@
+//! Compact-stencil scaling study (paper §7.1, Figures 3 and 5): generate
+//! all five program versions of a stride-2 compact stencil and sweep the
+//! simulated thread counts, printing the same series the paper plots.
+//!
+//! ```sh
+//! cargo run --release --example stencil_scaling
+//! ```
+
+use formad_bench::{stencil_figure, PAPER_THREADS};
+
+fn main() {
+    let fig = stencil_figure(1, 20_000, 2, &PAPER_THREADS);
+    println!("benchmark: {}", fig.name);
+    println!(
+        "serial baselines (giga-cycles): primal {:.4}, adjoint {:.4}\n",
+        fig.primal_serial, fig.adjoint_serial
+    );
+    println!("absolute simulated time (giga-cycles):");
+    print!("{}", fig.absolute_csv());
+    println!("\nparallel speedup vs the serial versions:");
+    print!("{}", fig.speedup_csv());
+
+    // The paper's headline observations, asserted:
+    let formad_18 = fig.speedup("adj-FormAD", 18);
+    let atomic_1 = fig.speedup("adj-atomic", 1);
+    let atomic_18 = fig.speedup("adj-atomic", 18);
+    let reduction_best = PAPER_THREADS
+        .iter()
+        .map(|t| fig.speedup("adj-reduction", *t))
+        .fold(f64::MIN, f64::max);
+    println!("\nFormAD adjoint speedup on 18 threads : {formad_18:.1}x");
+    println!("atomic adjoint, 1 thread             : {atomic_1:.3}x (overhead even serially)");
+    println!("atomic adjoint, 18 threads           : {atomic_18:.3}x (slows down with threads)");
+    println!("best reduction adjoint speedup       : {reduction_best:.2}x (never beats serial)");
+    assert!(formad_18 > 10.0);
+    assert!(atomic_1 < 0.1);
+    assert!(atomic_18 < atomic_1);
+    assert!(reduction_best < 1.0);
+}

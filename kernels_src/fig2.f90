@@ -1,0 +1,12 @@
+! Figure 2 of the paper: indirect gather/scatter parallel loop.
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n + 7)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine

@@ -1,0 +1,15 @@
+//! # formad-repro
+//!
+//! Umbrella crate of the FormAD reproduction — re-exports every workspace
+//! crate so the examples and integration tests read naturally. See
+//! `README.md` for the tour and `DESIGN.md` for the architecture.
+
+pub use formad;
+pub use formad_ad;
+pub use formad_analysis;
+pub use formad_bench;
+pub use formad_ir;
+pub use formad_kernels;
+pub use formad_machine;
+pub use formad_runtime;
+pub use formad_smt;
