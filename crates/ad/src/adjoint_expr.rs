@@ -41,7 +41,14 @@ pub struct AdjCtx<'a> {
 pub fn adjoint_of_assign(lhs: &LValue, rhs: &Expr, seed: &Expr, ctx: &AdjCtx<'_>) -> ExprAdjoint {
     let mut out = ExprAdjoint::default();
     let lhs_expr = lhs.as_expr();
-    walk(rhs, seed.clone(), &lhs_expr, ctx, &mut out.increments, &mut out.self_seeds);
+    walk(
+        rhs,
+        seed.clone(),
+        &lhs_expr,
+        ctx,
+        &mut out.increments,
+        &mut out.self_seeds,
+    );
     out
 }
 
@@ -111,11 +118,7 @@ fn walk(
                 let k = (**b).clone();
                 let da = seed.clone()
                     * k.clone()
-                    * Expr::binary(
-                        BinOp::Pow,
-                        (**a).clone(),
-                        k.clone() - Expr::IntLit(1),
-                    );
+                    * Expr::binary(BinOp::Pow, (**a).clone(), k.clone() - Expr::IntLit(1));
                 walk(a, da, lhs, ctx, out, self_seeds);
                 if expr_may_be_active(b, ctx) {
                     let dk = seed
@@ -161,8 +164,22 @@ fn walk(
                 let mut else_out = Vec::new();
                 let mut then_selfs = Vec::new();
                 let mut else_selfs = Vec::new();
-                walk(&args[0], seed.clone(), lhs, ctx, &mut then_out, &mut then_selfs);
-                walk(&args[0], seed.neg(), lhs, ctx, &mut else_out, &mut else_selfs);
+                walk(
+                    &args[0],
+                    seed.clone(),
+                    lhs,
+                    ctx,
+                    &mut then_out,
+                    &mut then_selfs,
+                );
+                walk(
+                    &args[0],
+                    seed.neg(),
+                    lhs,
+                    ctx,
+                    &mut else_out,
+                    &mut else_selfs,
+                );
                 emit_guarded(
                     BoolExpr::cmp(CmpOp::Ge, args[0].clone(), Expr::RealLit(0.0)),
                     then_out,
@@ -183,7 +200,14 @@ fn walk(
                 let mut else_out = Vec::new();
                 let mut then_selfs = Vec::new();
                 let mut else_selfs = Vec::new();
-                walk(&args[0], seed.clone(), lhs, ctx, &mut then_out, &mut then_selfs);
+                walk(
+                    &args[0],
+                    seed.clone(),
+                    lhs,
+                    ctx,
+                    &mut then_out,
+                    &mut then_selfs,
+                );
                 walk(&args[1], seed, lhs, ctx, &mut else_out, &mut else_selfs);
                 emit_guarded(
                     BoolExpr::cmp(cmp, args[0].clone(), args[1].clone()),
@@ -256,9 +280,7 @@ mod tests {
     fn run(lhs: LValue, rhs: Expr) -> ExprAdjoint {
         let seed = match &lhs {
             LValue::Var(n) => Expr::var(format!("{n}b")),
-            LValue::Index { array, indices } => {
-                Expr::index(format!("{array}b"), indices.clone())
-            }
+            LValue::Index { array, indices } => Expr::index(format!("{array}b"), indices.clone()),
         };
         adjoint_of_assign(&lhs, &rhs, &seed, &ctx_all_active())
     }
@@ -295,10 +317,7 @@ mod tests {
         // ab += 2*ub(2*i); self seed is exactly ub(2*i) (coefficient 1).
         assert_eq!(adj.increments.len(), 1);
         assert_eq!(adj.self_seeds.len(), 1);
-        assert_eq!(
-            expr_to_string(&adj.self_seeds[0]),
-            "ub(2 * i)"
-        );
+        assert_eq!(expr_to_string(&adj.self_seeds[0]), "ub(2 * i)");
     }
 
     #[test]
@@ -390,7 +409,10 @@ mod tests {
 
     #[test]
     fn constant_rhs_no_adjoints() {
-        let adj = run(LValue::var("z"), Expr::real(3.5) + Expr::int(2) * Expr::real(1.0));
+        let adj = run(
+            LValue::var("z"),
+            Expr::real(3.5) + Expr::int(2) * Expr::real(1.0),
+        );
         assert!(adj.increments.is_empty());
         assert!(adj.self_seeds.is_empty());
     }

@@ -121,10 +121,8 @@ mod tests {
 
     #[test]
     fn mode_lookup_defaults_to_atomic() {
-        let t = ParallelTreatment::PerArray(vec![HashMap::from([(
-            "u".to_string(),
-            IncMode::Plain,
-        )])]);
+        let t =
+            ParallelTreatment::PerArray(vec![HashMap::from([("u".to_string(), IncMode::Plain)])]);
         assert_eq!(t.mode_of(0, "u"), IncMode::Plain);
         assert_eq!(t.mode_of(0, "v"), IncMode::Atomic);
         assert_eq!(t.mode_of(1, "u"), IncMode::Atomic);

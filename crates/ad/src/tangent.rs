@@ -12,8 +12,8 @@
 //! tangent and adjoint results.
 
 use formad_ir::{
-    BinOp, BoolExpr, CmpOp, Expr, ForLoop, Intent, Intrinsic, LValue, ParallelInfo, Program,
-    Stmt, Ty, UnOp,
+    BinOp, BoolExpr, CmpOp, Expr, ForLoop, Intent, Intrinsic, LValue, ParallelInfo, Program, Stmt,
+    Ty, UnOp,
 };
 
 use formad_analysis::Activity;
@@ -119,9 +119,7 @@ impl<'a> Tangent<'a> {
                 out.push(s.clone());
                 Ok(())
             }
-            Stmt::Push(_) | Stmt::Pop(_) => {
-                Err(AdError::new("primal contains tape statements"))
-            }
+            Stmt::Push(_) | Stmt::Pop(_) => Err(AdError::new("primal contains tape statements")),
             Stmt::If {
                 cond,
                 then_body,
@@ -233,12 +231,8 @@ impl<'a> Tangent<'a> {
             }
             Expr::Unary { op: UnOp::Neg, arg } => self.texpr_inner(arg, choices, k).neg(),
             Expr::Binary { op, lhs, rhs } => match op {
-                BinOp::Add => {
-                    self.texpr_inner(lhs, choices, k) + self.texpr_inner(rhs, choices, k)
-                }
-                BinOp::Sub => {
-                    self.texpr_inner(lhs, choices, k) - self.texpr_inner(rhs, choices, k)
-                }
+                BinOp::Add => self.texpr_inner(lhs, choices, k) + self.texpr_inner(rhs, choices, k),
+                BinOp::Sub => self.texpr_inner(lhs, choices, k) - self.texpr_inner(rhs, choices, k),
                 BinOp::Mul => {
                     self.texpr_inner(lhs, choices, k) * (**rhs).clone()
                         + (**lhs).clone() * self.texpr_inner(rhs, choices, k)
@@ -383,8 +377,11 @@ end subroutine
         assert_eq!(t.name, "saxpy_d");
         let text = program_to_string(&t);
         // yd(i) = yd(i) + ... with the tangent statement before the primal.
-        assert!(text.contains("yd(i) = yd(i) + (0.0 * x(i) + a * xd(i))")
-            || text.contains("yd(i) = yd(i) + 0.0"), "{text}");
+        assert!(
+            text.contains("yd(i) = yd(i) + (0.0 * x(i) + a * xd(i))")
+                || text.contains("yd(i) = yd(i) + 0.0"),
+            "{text}"
+        );
         assert!(text.contains("y(i) = y(i) + a * x(i)"), "{text}");
         // Tangent arrays shared in the pragma.
         assert!(text.contains("xd"), "{text}");

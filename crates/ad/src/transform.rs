@@ -198,14 +198,12 @@ impl<'a> Xform<'a> {
         let mut needed: HashSet<String> = HashSet::new();
         let mut scan_expr = |e: &Expr, needed: &mut HashSet<String>| {
             e.walk(&mut |sub| match sub {
-                Expr::Var(n)
-                    if self.prog.decl(n).is_some() => {
-                        needed.insert(n.clone());
-                    }
-                Expr::Index { array, indices: _ }
-                    if self.prog.decl(array).is_some() => {
-                        needed.insert(array.clone());
-                    }
+                Expr::Var(n) if self.prog.decl(n).is_some() => {
+                    needed.insert(n.clone());
+                }
+                Expr::Index { array, indices: _ } if self.prog.decl(array).is_some() => {
+                    needed.insert(array.clone());
+                }
                 _ => {}
             });
         };
@@ -220,23 +218,21 @@ impl<'a> Xform<'a> {
         }
 
         self.prog.walk_stmts(&mut |s| match s {
-            Stmt::Assign { lhs, rhs }
-                if self.is_active(lhs.name()) => {
-                    let (incs, fin) = self.assign_adjoint(lhs, rhs);
-                    scan_stmts(&incs, &mut scan_expr, &mut needed);
-                    if let Some(f) = fin {
-                        scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
-                    }
+            Stmt::Assign { lhs, rhs } if self.is_active(lhs.name()) => {
+                let (incs, fin) = self.assign_adjoint(lhs, rhs);
+                scan_stmts(&incs, &mut scan_expr, &mut needed);
+                if let Some(f) = fin {
+                    scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
                 }
-            Stmt::AtomicAdd { lhs, rhs }
-                if self.is_active(lhs.name()) => {
-                    let full = lhs.as_expr() + rhs.clone();
-                    let (incs, fin) = self.assign_adjoint(lhs, &full);
-                    scan_stmts(&incs, &mut scan_expr, &mut needed);
-                    if let Some(f) = fin {
-                        scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
-                    }
+            }
+            Stmt::AtomicAdd { lhs, rhs } if self.is_active(lhs.name()) => {
+                let full = lhs.as_expr() + rhs.clone();
+                let (incs, fin) = self.assign_adjoint(lhs, &full);
+                scan_stmts(&incs, &mut scan_expr, &mut needed);
+                if let Some(f) = fin {
+                    scan_stmts(std::slice::from_ref(&f), &mut scan_expr, &mut needed);
                 }
+            }
             Stmt::For(l) => {
                 // Reversed loops re-evaluate their bound expressions.
                 scan_expr(&l.lo, &mut needed);
@@ -269,9 +265,10 @@ impl<'a> Xform<'a> {
         for s in stmts {
             s.walk(&mut |st| match st {
                 Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. }
-                    if (self.is_active(lhs.name()) || self.taped(lhs)) => {
-                        yes = true;
-                    }
+                    if (self.is_active(lhs.name()) || self.taped(lhs)) =>
+                {
+                    yes = true;
+                }
                 _ => {}
             });
         }
@@ -287,11 +284,16 @@ impl<'a> Xform<'a> {
         let mut counters = HashSet::new();
         for s in body {
             s.walk(&mut |st| match st {
-                Stmt::Assign { lhs: LValue::Var(v), .. }
-                | Stmt::AtomicAdd { lhs: LValue::Var(v), .. }
-                    if !assigned.contains(v) => {
-                        assigned.push(v.clone());
-                    }
+                Stmt::Assign {
+                    lhs: LValue::Var(v),
+                    ..
+                }
+                | Stmt::AtomicAdd {
+                    lhs: LValue::Var(v),
+                    ..
+                } if !assigned.contains(v) => {
+                    assigned.push(v.clone());
+                }
                 Stmt::For(inner) => {
                     counters.insert(inner.var.clone());
                 }
@@ -448,7 +450,11 @@ impl<'a> Xform<'a> {
                 let mut assigned = HashSet::new();
                 for s in &l.body {
                     s.walk(&mut |st| {
-                        if let Stmt::Assign { lhs: LValue::Var(v), .. } = st {
+                        if let Stmt::Assign {
+                            lhs: LValue::Var(v),
+                            ..
+                        } = st
+                        {
                             assigned.insert(v.clone());
                         }
                         if let Stmt::For(inner) = st {
@@ -526,9 +532,7 @@ impl<'a> Xform<'a> {
                         assigned_scalars.insert(v.clone());
                     }
                     if let Some(primal_name) = self.primal_of_adjoint(lhs.name()) {
-                        if st.as_increment().is_some()
-                            || matches!(st, Stmt::AtomicAdd { .. })
-                        {
+                        if st.as_increment().is_some() || matches!(st, Stmt::AtomicAdd { .. }) {
                             if matches!(lhs, LValue::Index { .. }) {
                                 incremented_adjoint_arrays.insert(primal_name);
                             } else {
@@ -608,17 +612,18 @@ impl<'a> Xform<'a> {
             let mut non_increment_writes = 0usize;
             for s in &body {
                 s.walk(&mut |st| {
-                    let is_inc = st.as_increment().is_some()
-                        || matches!(st, Stmt::AtomicAdd { .. });
+                    let is_inc =
+                        st.as_increment().is_some() || matches!(st, Stmt::AtomicAdd { .. });
                     match st {
                         Stmt::Assign { lhs, .. } | Stmt::AtomicAdd { lhs, .. }
-                            if lhs.name() == bname => {
-                                if is_inc {
-                                    self_reads += 1;
-                                } else {
-                                    non_increment_writes += 1;
-                                }
+                            if lhs.name() == bname =>
+                        {
+                            if is_inc {
+                                self_reads += 1;
+                            } else {
+                                non_increment_writes += 1;
                             }
+                        }
                         Stmt::Pop(lhs) if lhs.name() == bname => {
                             non_increment_writes += 1;
                         }
@@ -658,12 +663,11 @@ impl<'a> Xform<'a> {
                 }
             } else {
                 // Scalar.
-                let primal_private =
-                    primal.is_privatized(name) || {
-                        self.primal_of_adjoint(name)
-                            .map(|p| primal.is_privatized(&p))
-                            .unwrap_or(false)
-                    };
+                let primal_private = primal.is_privatized(name) || {
+                    self.primal_of_adjoint(name)
+                        .map(|p| primal.is_privatized(&p))
+                        .unwrap_or(false)
+                };
                 if incremented_adjoint_scalars.contains(name) && !primal_private {
                     // Shared scalar read by all threads in the primal:
                     // its adjoint accumulates across threads.
@@ -751,11 +755,7 @@ fn reversed_bounds(l: &ForLoop) -> (Expr, Expr, Expr) {
         l.hi.clone()
     } else {
         l.lo.clone()
-            + Expr::binary(
-                BinOp::Div,
-                l.hi.clone() - l.lo.clone(),
-                l.step.clone(),
-            ) * l.step.clone()
+            + Expr::binary(BinOp::Div, l.hi.clone() - l.lo.clone(), l.step.clone()) * l.step.clone()
     };
     let neg_step = match &l.step {
         Expr::IntLit(v) => Expr::IntLit(-v),
@@ -791,7 +791,12 @@ end subroutine
 
     #[test]
     fn saxpy_adjoint_shape() {
-        let adj = diff(SAXPY, &["x"], &["y"], ParallelTreatment::Uniform(IncMode::Plain));
+        let adj = diff(
+            SAXPY,
+            &["x"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Plain),
+        );
         assert_eq!(adj.name, "saxpy_b");
         // Params: n, a, x, y, then adjoints of active ones (x, y; a is
         // independent? no — a not in independents so varied(a)=false).
@@ -870,7 +875,10 @@ end subroutine
         assert!(text.contains("call push(x(i))"), "{text}");
         assert!(text.contains("call pop(x(i))"), "{text}");
         // Self-seed: xb(i) = xb(i)*x(i) + xb(i)*x(i).
-        assert!(text.contains("xb(i) = xb(i) * x(i) + xb(i) * x(i)"), "{text}");
+        assert!(
+            text.contains("xb(i) = xb(i) * x(i) + xb(i) * x(i)"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -990,7 +998,12 @@ subroutine fig2(n, x, y, c)
   end do
 end subroutine
 "#;
-        let adj = diff(src, &["x"], &["y"], ParallelTreatment::Uniform(IncMode::Plain));
+        let adj = diff(
+            src,
+            &["x"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Plain),
+        );
         let text = program_to_string(&adj);
         // xb(c(i)+7) += yb(c(i)); yb(c(i)) = 0 — as in the paper's Fig. 2.
         assert!(
@@ -1021,7 +1034,12 @@ subroutine gg(n, dv, grad, e2n, sij)
   end do
 end subroutine
 "#;
-        let adj = diff(src, &["dv"], &["grad"], ParallelTreatment::Uniform(IncMode::Plain));
+        let adj = diff(
+            src,
+            &["dv"],
+            &["grad"],
+            ParallelTreatment::Uniform(IncMode::Plain),
+        );
         let text = program_to_string(&adj);
         assert!(text.contains("dvfaceb = 0.0"), "{text}");
         assert!(text.contains("private"), "{text}");

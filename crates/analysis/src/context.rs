@@ -52,7 +52,7 @@ impl Contexts {
         };
         // Union-find to close the relation into a partition.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -73,7 +73,7 @@ impl Contexts {
         let mut ids: Vec<Option<CtxId>> = vec![None; n];
         let mut members: Vec<Vec<NodeId>> = Vec::new();
         let mut ctx_of = vec![CtxId(0); n];
-        for node in 0..n {
+        for (node, slot) in ctx_of.iter_mut().enumerate() {
             let rep = find(&mut parent, node);
             let id = match ids[rep] {
                 Some(id) => id,
@@ -84,7 +84,7 @@ impl Contexts {
                     id
                 }
             };
-            ctx_of[node] = id;
+            *slot = id;
             members[id.0 as usize].push(node);
         }
         let count = members.len();
@@ -98,9 +98,7 @@ impl Contexts {
         let mut incl = vec![vec![false; count]; count];
         for (ca, ma) in members.iter().enumerate() {
             for (cb, mb) in members.iter().enumerate() {
-                incl[ca][cb] = ma
-                    .iter()
-                    .all(|&a| mb.iter().all(|&b| node_incl(a, b)));
+                incl[ca][cb] = ma.iter().all(|&a| mb.iter().all(|&b| node_incl(a, b)));
             }
         }
         let root = ctx_of[ENTRY];
@@ -122,9 +120,7 @@ impl Contexts {
     /// context that must execute both references), `None` otherwise (no
     /// control certainly executes both — paper §5.1).
     pub fn knowledge_site(&self, c1: CtxId, c2: CtxId) -> Option<CtxId> {
-        if c1 == c2 {
-            Some(c1)
-        } else if self.included(c1, c2) {
+        if c1 == c2 || self.included(c1, c2) {
             Some(c1)
         } else if self.included(c2, c1) {
             Some(c2)
@@ -269,9 +265,7 @@ end subroutine
             .find(|&n| matches!(cfg.nodes[n], NodeKind::LoopHead(_)))
             .unwrap();
         let inner = (0..cfg.len())
-            .find(|&n| {
-                matches!(cfg.nodes[n], NodeKind::Simple(s) if s.as_increment().is_some())
-            })
+            .find(|&n| matches!(cfg.nodes[n], NodeKind::Simple(s) if s.as_increment().is_some()))
             .unwrap();
         assert_eq!(ctx.ctx_of[head], ctx.root);
         let body_ctx = ctx.ctx_of[inner];

@@ -90,7 +90,9 @@ impl Instances {
                 let mut env: Env = Env::new();
                 for &p in &cfg.preds[node] {
                     for (v, set) in &out[p] {
-                        env.entry(v.clone()).or_default().extend(set.iter().copied());
+                        env.entry(v.clone())
+                            .or_default()
+                            .extend(set.iter().copied());
                     }
                 }
                 ins[node] = env.clone();
@@ -112,9 +114,9 @@ impl Instances {
             interned.insert(v.clone(), vec![BTreeSet::from([ENTRY])]);
         }
         let mut at = HashMap::new();
-        for node in 0..n {
+        for (node, ins_node) in ins.iter().enumerate() {
             for v in &vars {
-                let set = match ins[node].get(v) {
+                let set = match ins_node.get(v) {
                     Some(s) if !s.is_empty() => s.clone(),
                     _ => BTreeSet::from([ENTRY]),
                 };
@@ -138,7 +140,7 @@ mod tests {
     use super::*;
     use formad_ir::parse_program;
 
-    fn analyze(src: &str) -> (Vec<Stmt>, ) {
+    fn analyze(src: &str) -> (Vec<Stmt>,) {
         (parse_program(src).unwrap().body,)
     }
 

@@ -223,10 +223,7 @@ subroutine t(n, u, a)
 end subroutine
 "#,
         );
-        let w = refs
-            .iter()
-            .find(|r| r.kind == AccessKind::Write)
-            .unwrap();
+        let w = refs.iter().find(|r| r.kind == AccessKind::Write).unwrap();
         assert_eq!(w.inc, IncRole::IncrementWrite);
         let self_read = refs
             .iter()

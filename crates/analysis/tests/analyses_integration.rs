@@ -1,9 +1,7 @@
 //! Cross-analysis integration: contexts, instances, activity, and
 //! reference collection working together on realistic loop bodies.
 
-use formad_analysis::{
-    collect_refs, AccessKind, Activity, Cfg, Contexts, CtxId, Instances, NodeKind,
-};
+use formad_analysis::{collect_refs, AccessKind, Activity, Cfg, Contexts, Instances, NodeKind};
 use formad_ir::parse_program;
 
 #[test]

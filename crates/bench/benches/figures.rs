@@ -25,7 +25,9 @@ fn figures(c: &mut Criterion) {
     });
 
     // Figures 7/8.
-    group.bench_function("fig7_fig8_gfmc", |b| b.iter(|| gfmc_figure(16, 1, &[1, 18])));
+    group.bench_function("fig7_fig8_gfmc", |b| {
+        b.iter(|| gfmc_figure(16, 1, &[1, 18]))
+    });
 
     // Figures 9/10.
     group.bench_function("fig9_fig10_green_gauss", |b| {

@@ -17,12 +17,8 @@ fn fig2_query(c: &mut Criterion) {
             s.assert(f);
             let f = Formula::term_ne(&ci, &cip, &mut s.table).unwrap();
             s.assert(f);
-            let q = Formula::term_eq(
-                &(ci + Term::int(7)),
-                &(cip + Term::int(7)),
-                &mut s.table,
-            )
-            .unwrap();
+            let q = Formula::term_eq(&(ci + Term::int(7)), &(cip + Term::int(7)), &mut s.table)
+                .unwrap();
             assert_eq!(s.check_with(q), SatResult::Unsat);
         });
     });
@@ -65,14 +61,13 @@ fn stride_parity_query(c: &mut Criterion) {
 /// result).
 fn lbm_scale_model(c: &mut Criterion) {
     let mults: Vec<i64> = vec![
-        -1, -119, 0, -14280, -120, -14520, -14399, 14401, 14520, 14400, 121, -14400, -14401,
-        14399, -121, 1, 14280, 119, 120,
+        -1, -119, 0, -14280, -120, -14520, -14399, 14401, 14520, 14400, 121, -14400, -14401, 14399,
+        -121, 1, 14280, 119, 120,
     ];
     c.bench_function("prover/lbm_scale_model_sat", |b| {
         b.iter(|| {
             let mut s = Solver::new();
-            let f =
-                Formula::term_ne(&Term::sym("i"), &Term::sym("i'"), &mut s.table).unwrap();
+            let f = Formula::term_ne(&Term::sym("i"), &Term::sym("i'"), &mut s.table).unwrap();
             s.assert(f);
             let nce = Term::sym("nce");
             let expr = |k: usize, primed: bool| -> Term {
@@ -83,8 +78,8 @@ fn lbm_scale_model(c: &mut Criterion) {
             };
             for k in 0..mults.len() {
                 for j in 0..mults.len() {
-                    let f = Formula::term_ne(&expr(k, true), &expr(j, false), &mut s.table)
-                        .unwrap();
+                    let f =
+                        Formula::term_ne(&expr(k, true), &expr(j, false), &mut s.table).unwrap();
                     s.assert(f);
                 }
             }

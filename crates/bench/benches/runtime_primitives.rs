@@ -26,8 +26,8 @@ fn bench_increments(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("atomic_cas", N), |b| {
         let target = AtomicF64Slice::zeros(N);
         b.iter(|| {
-            for i in 0..N {
-                target.add(i, black_box(src[i]));
+            for (i, &v) in src.iter().enumerate() {
+                target.add(i, black_box(v));
             }
             black_box(target.get(0));
         });

@@ -92,7 +92,12 @@ pub fn ablation_grid() -> Vec<AblationRow> {
             GfmcCase::independents().to_vec(),
             GfmcCase::dependents().to_vec(),
         ),
-        ("LBM", lbm::lbm_ir(), lbm::independents().to_vec(), lbm::dependents().to_vec()),
+        (
+            "LBM",
+            lbm::lbm_ir(),
+            lbm::independents().to_vec(),
+            lbm::dependents().to_vec(),
+        ),
         (
             "GreenGauss",
             GreenGaussCase::linear(64, 1).ir(),
@@ -108,9 +113,16 @@ pub fn ablation_grid() -> Vec<AblationRow> {
         rows.push(run_config(name, "no-stride", primal, indep, dep, |o| {
             o.region.stride_constraints = false;
         }));
-        rows.push(run_config(name, "no-contexts(U)", primal, indep, dep, |o| {
-            o.region.use_contexts = false;
-        }));
+        rows.push(run_config(
+            name,
+            "no-contexts(U)",
+            primal,
+            indep,
+            dep,
+            |o| {
+                o.region.use_contexts = false;
+            },
+        ));
     }
     rows
 }
@@ -126,11 +138,7 @@ pub fn ablation_text(rows: &[AblationRow]) -> String {
         let _ = writeln!(
             s,
             "{:<12} {:<16} {:>6}/{:<3} {:>8}",
-            r.name,
-            r.config,
-            r.shared,
-            r.total,
-            r.queries
+            r.name, r.config, r.shared, r.total, r.queries
         );
     }
     s.push_str(
@@ -156,10 +164,7 @@ mod tests {
                 .unwrap()
         };
         // Increment detection saves queries on the stencils.
-        assert!(
-            get("stencil 8", "no-increment").queries
-                > get("stencil 8", "full").queries
-        );
+        assert!(get("stencil 8", "no-increment").queries > get("stencil 8", "full").queries);
         // Full config proves everything shared on the accepted kernels.
         for name in ["stencil 1", "stencil 8", "GFMC", "GreenGauss"] {
             let f = get(name, "full");

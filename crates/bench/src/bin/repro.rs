@@ -20,8 +20,7 @@ use std::fs;
 use std::path::Path;
 
 use formad_bench::{
-    gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData,
-    PAPER_THREADS,
+    gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData, PAPER_THREADS,
 };
 
 /// Problem sizes. `small` keeps the full protocol under a couple of
@@ -78,21 +77,51 @@ fn main() {
             formad_bench::ablation_text(&formad_bench::ablation_grid())
         ),
         "lbm" => print!("{}", lbm_report()),
-        "fig3" => print_fig(&small_stencil(scale), Kind::Absolute, "Figure 3: absolute time, small stencil"),
-        "fig5" => print_fig(&small_stencil(scale), Kind::Speedup, "Figure 5: speedup, small stencil"),
-        "fig4" => print_fig(&large_stencil(scale), Kind::Absolute, "Figure 4: absolute time, large stencil"),
-        "fig6" => print_fig(&large_stencil(scale), Kind::Speedup, "Figure 6: speedup, large stencil"),
-        "fig7" => print_fig(&gfmc(scale), Kind::Absolute, "Figure 7: absolute time, GFMC"),
+        "fig3" => print_fig(
+            &small_stencil(scale),
+            Kind::Absolute,
+            "Figure 3: absolute time, small stencil",
+        ),
+        "fig5" => print_fig(
+            &small_stencil(scale),
+            Kind::Speedup,
+            "Figure 5: speedup, small stencil",
+        ),
+        "fig4" => print_fig(
+            &large_stencil(scale),
+            Kind::Absolute,
+            "Figure 4: absolute time, large stencil",
+        ),
+        "fig6" => print_fig(
+            &large_stencil(scale),
+            Kind::Speedup,
+            "Figure 6: speedup, large stencil",
+        ),
+        "fig7" => print_fig(
+            &gfmc(scale),
+            Kind::Absolute,
+            "Figure 7: absolute time, GFMC",
+        ),
         "fig8" => print_fig(&gfmc(scale), Kind::Speedup, "Figure 8: speedup, GFMC"),
-        "fig9" => print_fig(&green_gauss(scale), Kind::Absolute, "Figure 9: absolute time, Green Gauss Gradients"),
-        "fig10" => print_fig(&green_gauss(scale), Kind::Speedup, "Figure 10: speedup, Green Gauss Gradients"),
+        "fig9" => print_fig(
+            &green_gauss(scale),
+            Kind::Absolute,
+            "Figure 9: absolute time, Green Gauss Gradients",
+        ),
+        "fig10" => print_fig(
+            &green_gauss(scale),
+            Kind::Speedup,
+            "Figure 10: speedup, Green Gauss Gradients",
+        ),
         "all" => {
             let outdir = args.get(1).cloned().unwrap_or_else(|| "repro_out".into());
             all(scale, Path::new(&outdir));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("commands: table1 ablations lbm fig3..fig10 all [outdir] [--scale small|big]");
+            eprintln!(
+                "commands: table1 ablations lbm fig3..fig10 all [outdir] [--scale small|big]"
+            );
             std::process::exit(2);
         }
     }
@@ -156,10 +185,30 @@ fn all(scale: Scale, outdir: &Path) {
     write("lbm_report.txt", &lr);
 
     for (fig_abs, fig_spd, data, label) in [
-        ("fig3_abs_small_stencil.csv", "fig5_speedup_small_stencil.csv", small_stencil(scale), "small stencil"),
-        ("fig4_abs_large_stencil.csv", "fig6_speedup_large_stencil.csv", large_stencil(scale), "large stencil"),
-        ("fig7_abs_gfmc.csv", "fig8_speedup_gfmc.csv", gfmc(scale), "GFMC"),
-        ("fig9_abs_greengauss.csv", "fig10_speedup_greengauss.csv", green_gauss(scale), "Green Gauss"),
+        (
+            "fig3_abs_small_stencil.csv",
+            "fig5_speedup_small_stencil.csv",
+            small_stencil(scale),
+            "small stencil",
+        ),
+        (
+            "fig4_abs_large_stencil.csv",
+            "fig6_speedup_large_stencil.csv",
+            large_stencil(scale),
+            "large stencil",
+        ),
+        (
+            "fig7_abs_gfmc.csv",
+            "fig8_speedup_gfmc.csv",
+            gfmc(scale),
+            "GFMC",
+        ),
+        (
+            "fig9_abs_greengauss.csv",
+            "fig10_speedup_greengauss.csv",
+            green_gauss(scale),
+            "Green Gauss",
+        ),
     ] {
         println!("\n== {label} ({}) ==", data.name);
         println!("absolute Gcycles:");

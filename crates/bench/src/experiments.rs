@@ -9,8 +9,8 @@ use std::fmt::Write as _;
 
 use formad::{table1_header, table1_row, Formad, FormadOptions};
 use formad_ir::Program;
-use formad_machine::{run, Bindings, Machine};
 use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+use formad_machine::{run, Bindings, Machine};
 
 use crate::versions::{adjoint_bindings, ProgramVersions};
 
@@ -129,9 +129,15 @@ fn run_protocol(
     ];
     for &t in threads {
         series[0].1.push(gcycles(&versions.primal, base, t));
-        series[1].1.push(gcycles(&versions.adj_formad, &adj_base, t));
-        series[2].1.push(gcycles(&versions.adj_atomic, &adj_base, t));
-        series[3].1.push(gcycles(&versions.adj_reduction, &adj_base, t));
+        series[1]
+            .1
+            .push(gcycles(&versions.adj_formad, &adj_base, t));
+        series[2]
+            .1
+            .push(gcycles(&versions.adj_atomic, &adj_base, t));
+        series[3]
+            .1
+            .push(gcycles(&versions.adj_reduction, &adj_base, t));
     }
     FigureData {
         name: name.to_string(),
@@ -165,11 +171,8 @@ pub fn stencil_figure(radius: usize, n: usize, sweeps: usize, threads: &[usize])
 /// Figures 7/8: GFMC (split version) absolute time and speedup.
 pub fn gfmc_figure(ns: usize, repeats: usize, threads: &[usize]) -> FigureData {
     let case = GfmcCase::new(ns, repeats);
-    let versions = ProgramVersions::generate(
-        &case.ir(),
-        GfmcCase::independents(),
-        GfmcCase::dependents(),
-    );
+    let versions =
+        ProgramVersions::generate(&case.ir(), GfmcCase::independents(), GfmcCase::dependents());
     let base = case.bindings_split(0xBEEF);
     run_protocol(
         &format!("gfmc ns={ns} reps={repeats}"),
@@ -225,13 +228,38 @@ pub fn table1() -> Vec<Table1Row> {
         });
     };
     let st1 = StencilCase::small(64, 1);
-    push("stencil 1", &st1.ir(), StencilCase::independents(), StencilCase::dependents());
+    push(
+        "stencil 1",
+        &st1.ir(),
+        StencilCase::independents(),
+        StencilCase::dependents(),
+    );
     let st8 = StencilCase::large(128, 1);
-    push("stencil 8", &st8.ir(), StencilCase::independents(), StencilCase::dependents());
+    push(
+        "stencil 8",
+        &st8.ir(),
+        StencilCase::independents(),
+        StencilCase::dependents(),
+    );
     let gf = GfmcCase::new(16, 1);
-    push("GFMC", &gf.ir(), GfmcCase::independents(), GfmcCase::dependents());
-    push("GFMC*", &gf.ir_star(), GfmcCase::independents(), GfmcCase::dependents());
-    push("LBM", &lbm::lbm_ir(), lbm::independents(), lbm::dependents());
+    push(
+        "GFMC",
+        &gf.ir(),
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    );
+    push(
+        "GFMC*",
+        &gf.ir_star(),
+        GfmcCase::independents(),
+        GfmcCase::dependents(),
+    );
+    push(
+        "LBM",
+        &lbm::lbm_ir(),
+        lbm::independents(),
+        lbm::dependents(),
+    );
     let gg = GreenGaussCase::linear(64, 1);
     push(
         "GreenGauss",

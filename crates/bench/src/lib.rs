@@ -10,9 +10,9 @@ pub mod ablation;
 pub mod experiments;
 pub mod versions;
 
+pub use ablation::{ablation_grid, ablation_text, AblationRow};
 pub use experiments::{
     gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData, Table1Row,
     PAPER_THREADS,
 };
-pub use ablation::{ablation_grid, ablation_text, AblationRow};
 pub use versions::{adjoint_bindings, ProgramVersions};

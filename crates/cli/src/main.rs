@@ -15,16 +15,34 @@
 //!   --table1 NAME      print a Table-1 row instead of the full report
 //!   --emit DIALECT     fortran (default) | c — output dialect for
 //!                      adjoint/versions
+//!   --prover-timeout-ms N
+//!                      wall-clock allowance per prover query; expiry
+//!                      degrades the affected arrays to atomics
 //! ```
 //!
-//! Exit code 0 on success, 1 on analysis refusing everything is *not* an
-//! error (the report says so), 2 on usage/parse errors.
+//! Exit codes: 0 success (a report that keeps every safeguard is still a
+//! success — degradation is the contract, not an error), 2 usage/IO,
+//! 3 parse, 4 validation, 5 AD failure, 6 prover panic that escaped the
+//! degradation ladder, 7 deadline.
 
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use formad::{Formad, FormadOptions, IncMode, ParallelTreatment};
+use formad::{Formad, FormadErrorKind, FormadOptions, IncMode, ParallelTreatment};
 use formad_ir::{parse_any, program_to_clike, program_to_string};
+
+/// Distinct nonzero exit code per error classification.
+fn code_for(kind: FormadErrorKind) -> ExitCode {
+    ExitCode::from(match kind {
+        FormadErrorKind::Parse => 3,
+        FormadErrorKind::Validate => 4,
+        FormadErrorKind::Ad => 5,
+        FormadErrorKind::ProverPanic => 6,
+        FormadErrorKind::Deadline => 7,
+    })
+}
 
 struct Args {
     command: String,
@@ -37,13 +55,15 @@ struct Args {
     contexts: bool,
     increment: bool,
     table1: Option<String>,
+    prover_timeout: Option<Duration>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: formad <analyze|adjoint|versions> FILE --wrt a,b --of c,d \
          [--mode formad|serial|atomic|reduction] [--no-stride] \
-         [--no-contexts] [--no-increment] [--table1 NAME]"
+         [--no-contexts] [--no-increment] [--table1 NAME] \
+         [--prover-timeout-ms N]"
     );
     ExitCode::from(2)
 }
@@ -63,6 +83,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         contexts: true,
         increment: true,
         table1: None,
+        prover_timeout: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut k = 0;
@@ -97,6 +118,17 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--table1" => {
                 k += 1;
                 args.table1 = Some(rest.get(k).ok_or_else(usage)?.clone());
+            }
+            "--prover-timeout-ms" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match raw.parse::<u64>() {
+                    Ok(ms) => args.prover_timeout = Some(Duration::from_millis(ms)),
+                    Err(_) => {
+                        eprintln!("--prover-timeout-ms expects an integer, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
             }
             "--no-stride" => args.stride = false,
             "--no-contexts" => args.contexts = false,
@@ -143,7 +175,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(2);
+            return code_for(FormadErrorKind::Parse);
         }
     };
     let errs = formad_ir::validate(&primal);
@@ -151,24 +183,43 @@ fn main() -> ExitCode {
         for e in &errs {
             eprintln!("validation: {e}");
         }
-        return ExitCode::from(2);
+        return code_for(FormadErrorKind::Validate);
     }
 
+    // The pipeline's degradation ladder absorbs prover faults internally;
+    // this is the last-resort net so a bug anywhere below still exits
+    // with a diagnostic instead of a raw panic trace and code 101.
+    match catch_unwind(AssertUnwindSafe(|| run(&args, &primal))) {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            eprintln!("formad [prover-panic]: internal panic escaped recovery: {msg}");
+            code_for(FormadErrorKind::ProverPanic)
+        }
+    }
+}
+
+fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     let wrt: Vec<&str> = args.wrt.iter().map(|s| s.as_str()).collect();
     let of: Vec<&str> = args.of.iter().map(|s| s.as_str()).collect();
     let mut opts = FormadOptions::new(&wrt, &of);
     opts.region.stride_constraints = args.stride;
     opts.region.use_contexts = args.contexts;
     opts.region.use_increment_detection = args.increment;
+    opts.region.prover_timeout = args.prover_timeout;
     let tool = Formad::new(opts);
 
     match args.command.as_str() {
         "analyze" => {
-            let a = match tool.analyze(&primal) {
+            let a = match tool.analyze(primal) {
                 Ok(a) => a,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(2);
+                    return code_for(e.kind);
                 }
             };
             match &args.table1 {
@@ -192,21 +243,21 @@ fn main() -> ExitCode {
                 }
             };
             let adjoint = match treatment {
-                None => match tool.differentiate(&primal) {
+                None => match tool.differentiate(primal) {
                     Ok(r) => {
                         eprint!("{}", formad::full_report(&primal.name, &r.analysis));
                         r.adjoint
                     }
                     Err(e) => {
                         eprintln!("{e}");
-                        return ExitCode::from(2);
+                        return code_for(e.kind);
                     }
                 },
-                Some(t) => match tool.adjoint_with(&primal, t) {
+                Some(t) => match tool.adjoint_with(primal, t) {
                     Ok(a) => a,
                     Err(e) => {
                         eprintln!("{e}");
-                        return ExitCode::from(2);
+                        return code_for(e.kind);
                     }
                 },
             };
@@ -214,11 +265,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "versions" => {
-            let r = match tool.differentiate(&primal) {
+            let r = match tool.differentiate(primal) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::from(2);
+                    return code_for(e.kind);
                 }
             };
             println!("! ===== analysis =====");
@@ -233,11 +284,11 @@ fn main() -> ExitCode {
                 ("reduction", ParallelTreatment::Uniform(IncMode::Reduction)),
             ] {
                 println!("\n! ===== adjoint ({label}) =====");
-                match tool.adjoint_with(&primal, t) {
+                match tool.adjoint_with(primal, t) {
                     Ok(a) => print!("{}", render(&a, &args.emit)),
                     Err(e) => {
                         eprintln!("{e}");
-                        return ExitCode::from(2);
+                        return code_for(e.kind);
                     }
                 }
             }

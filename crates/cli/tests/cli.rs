@@ -70,7 +70,10 @@ fn adjoint_output_is_the_paper_figure() {
     let f = write_temp("fig2b.f90", FIG2_F);
     let (out, _, ok) = formad(&["adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
     assert!(ok);
-    assert!(out.contains("xb(c(i) + 7) = xb(c(i) + 7) + yb(c(i))"), "{out}");
+    assert!(
+        out.contains("xb(c(i) + 7) = xb(c(i) + 7) + yb(c(i))"),
+        "{out}"
+    );
     assert!(out.contains("yb(c(i)) = 0.0"), "{out}");
     assert!(!out.contains("atomic"), "{out}");
 }
@@ -79,17 +82,38 @@ fn adjoint_output_is_the_paper_figure() {
 fn adjoint_modes() {
     let f = write_temp("fig2c.f90", FIG2_F);
     let (atomic, _, ok) = formad(&[
-        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "atomic",
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--mode",
+        "atomic",
     ]);
     assert!(ok);
     assert!(atomic.contains("!$omp atomic"), "{atomic}");
     let (serial, _, ok) = formad(&[
-        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "serial",
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--mode",
+        "serial",
     ]);
     assert!(ok);
     assert!(!serial.contains("!$omp"), "{serial}");
     let (red, _, ok) = formad(&[
-        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--mode", "reduction",
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--mode",
+        "reduction",
     ]);
     assert!(ok);
     assert!(red.contains("reduction(+: xb)"), "{red}");
@@ -99,7 +123,14 @@ fn adjoint_modes() {
 fn table1_row_output() {
     let f = write_temp("fig2d.f90", FIG2_F);
     let (out, _, ok) = formad(&[
-        "analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--table1", "fig2",
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--table1",
+        "fig2",
     ]);
     assert!(ok);
     assert!(out.contains("queries"), "{out}");
@@ -112,8 +143,10 @@ fn versions_prints_all_four() {
     let (out, _, ok) = formad(&["versions", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
     assert!(ok);
     for label in ["FormAD", "serial", "atomic", "reduction"] {
-        assert!(out.contains(&format!("adjoint ({label})")) || out.contains("adjoint (FormAD)"),
-            "{label} missing:\n{out}");
+        assert!(
+            out.contains(&format!("adjoint ({label})")) || out.contains("adjoint (FormAD)"),
+            "{label} missing:\n{out}"
+        );
     }
 }
 
@@ -121,7 +154,14 @@ fn versions_prints_all_four() {
 fn emit_c_dialect() {
     let f = write_temp("fig2h.f90", FIG2_F);
     let (out, _, ok) = formad(&[
-        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--emit", "c",
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--emit",
+        "c",
     ]);
     assert!(ok);
     assert!(out.contains("void fig2_b("), "{out}");
@@ -129,7 +169,14 @@ fn emit_c_dialect() {
     assert!(out.contains("#pragma omp parallel for"), "{out}");
     // Invalid dialect rejected.
     let (_, err, ok) = formad(&[
-        "adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y", "--emit", "rust",
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--emit",
+        "rust",
     ]);
     assert!(!ok);
     assert!(err.contains("unknown emit dialect"), "{err}");
@@ -144,7 +191,14 @@ fn usage_errors() {
     let (_, err, ok) = formad(&["bogus", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
     assert!(!ok);
     assert!(err.contains("unknown command"), "{err}");
-    let (_, err, ok) = formad(&["analyze", "/nonexistent/file.f90", "--wrt", "x", "--of", "y"]);
+    let (_, err, ok) = formad(&[
+        "analyze",
+        "/nonexistent/file.f90",
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+    ]);
     assert!(!ok);
     assert!(err.contains("cannot read"), "{err}");
 }
@@ -154,16 +208,150 @@ fn parse_errors_reported() {
     let f = write_temp("broken.f90", "subroutine broken(\n");
     let (_, err, ok) = formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
     assert!(!ok);
-    assert!(err.contains("parse error") || err.contains("expected"), "{err}");
+    assert!(
+        err.contains("parse error") || err.contains("expected"),
+        "{err}"
+    );
 }
 
 #[test]
 fn ablation_flags_accepted() {
     let f = write_temp("fig2g.f90", FIG2_F);
     let (out, _, ok) = formad(&[
-        "analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y",
-        "--no-stride", "--no-increment",
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--no-stride",
+        "--no-increment",
     ]);
     assert!(ok);
     assert!(out.contains("shared"), "{out}");
+}
+
+// ---------------------------------------------------------------------
+// Exit-code contract and prover resource flags.
+// ---------------------------------------------------------------------
+
+fn formad_code(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(args)
+        .output()
+        .expect("run formad")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+#[test]
+fn distinct_exit_codes_per_error_kind() {
+    // Usage error → 2.
+    assert_eq!(formad_code(&["analyze"]), 2);
+    // Unreadable file → 2 (IO, not a pipeline kind).
+    assert_eq!(
+        formad_code(&[
+            "analyze",
+            "/nonexistent/file.f90",
+            "--wrt",
+            "x",
+            "--of",
+            "y"
+        ]),
+        2
+    );
+    // Parse failure → 3.
+    let broken = write_temp("code3.f90", "subroutine broken(\n");
+    assert_eq!(
+        formad_code(&[
+            "analyze",
+            broken.to_str().unwrap(),
+            "--wrt",
+            "x",
+            "--of",
+            "y"
+        ]),
+        3
+    );
+    // Validation failure → 4 (use of an undeclared variable parses fine
+    // but fails semantic checks).
+    let invalid = write_temp(
+        "code4.f90",
+        "subroutine t(n)\n  integer, intent(in) :: n\n  integer :: i\n  \
+         do i = 1, n\n    i = zzz\n  end do\nend subroutine\n",
+    );
+    assert_eq!(
+        formad_code(&[
+            "analyze",
+            invalid.to_str().unwrap(),
+            "--wrt",
+            "n",
+            "--of",
+            "n"
+        ]),
+        4
+    );
+}
+
+#[test]
+fn prover_timeout_flag_accepted_and_validated() {
+    let f = write_temp("timeout.f90", FIG2_F);
+    // A generous timeout changes nothing on this easy problem.
+    let (out, _, ok) = formad(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--prover-timeout-ms",
+        "5000",
+    ]);
+    assert!(ok);
+    assert!(out.contains("shared (no atomics needed)"), "{out}");
+    // Garbage value is a usage error, not a panic.
+    let (_, err, ok) = formad(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--prover-timeout-ms",
+        "soon",
+    ]);
+    assert!(!ok);
+    assert!(
+        err.contains("--prover-timeout-ms expects an integer"),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_timeout_degrades_but_stays_correct() {
+    // With a 0ms allowance every query times out; the analysis must still
+    // complete, keeping all safeguards, and the adjoint must still be
+    // generated (with atomics) — degradation, not failure.
+    let f = write_temp("timeout0.f90", FIG2_F);
+    let (out, err, ok) = formad(&[
+        "adjoint",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--prover-timeout-ms",
+        "0",
+    ]);
+    assert!(ok, "degradation must not be an error: {err}");
+    assert!(out.contains("xb(c(i) + 7)"), "{out}");
+    assert!(
+        out.contains("atomic"),
+        "timed-out analysis must keep atomics: {out}"
+    );
+    assert!(
+        err.contains("timed-out") || err.contains("guarded"),
+        "{err}"
+    );
 }

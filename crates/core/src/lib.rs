@@ -42,7 +42,9 @@ pub mod report;
 pub mod translate;
 
 pub use formad_ad::{IncMode, ParallelTreatment};
-pub use pipeline::{DiffResult, Formad, FormadAnalysis, FormadError, FormadOptions};
-pub use region::{Decision, RegionAnalysis, RegionOptions};
+pub use pipeline::{
+    DiffResult, Formad, FormadAnalysis, FormadError, FormadErrorKind, FormadOptions,
+};
+pub use region::{analyze_region_with, Decision, Provenance, RegionAnalysis, RegionOptions};
 pub use report::{full_report, region_report, table1_header, table1_row};
 pub use translate::{Taint, Translator};

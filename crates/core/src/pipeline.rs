@@ -6,6 +6,7 @@ use std::fmt;
 use formad_ad::{differentiate, AdError, AdjointOptions, IncMode, ParallelTreatment};
 use formad_analysis::Activity;
 use formad_ir::Program;
+use formad_smt::SolverStats;
 
 use crate::region::{analyze_region, Decision, RegionAnalysis, RegionOptions};
 
@@ -40,33 +41,95 @@ pub struct FormadAnalysis {
     /// The safeguard plan FormAD derived (Plain where proven, Atomic
     /// elsewhere) — feed to [`Formad::adjoint_with`] or read directly.
     pub plan: ParallelTreatment,
+    /// Prover statistics aggregated over every region (saturating).
+    pub stats: SolverStats,
 }
 
 impl FormadAnalysis {
     /// True if every analyzed adjoint array in every region is `Shared`.
     pub fn all_safe(&self) -> bool {
-        self.regions.iter().all(|r| {
-            r.decisions
-                .values()
-                .all(|d| matches!(d, Decision::Shared))
-        })
+        self.regions
+            .iter()
+            .all(|r| r.decisions.values().all(|d| matches!(d, Decision::Shared)))
     }
 
     /// Total prover queries across regions.
     pub fn total_queries(&self) -> u64 {
         self.regions.iter().map(|r| r.queries).sum()
     }
+
+    /// True if any region lost a `Shared` verdict to a resource limit or
+    /// a recovered prover fault (as opposed to a definite refutation).
+    pub fn degraded(&self) -> bool {
+        self.regions.iter().any(|r| r.degraded())
+    }
+
+    /// Total prover panics recovered from across regions.
+    pub fn recovered_panics(&self) -> u64 {
+        self.regions.iter().map(|r| r.recovered_panics).sum()
+    }
+}
+
+/// Classification of pipeline errors; each kind maps to a distinct CLI
+/// exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormadErrorKind {
+    /// The source program could not be parsed.
+    Parse,
+    /// The program parsed but failed semantic validation.
+    Validate,
+    /// The AD transformation itself failed.
+    Ad,
+    /// The prover panicked and the failure could not be absorbed by
+    /// degradation (not produced by the analysis itself, which always
+    /// degrades; reserved for callers that choose to re-raise).
+    ProverPanic,
+    /// A global deadline expired before the pipeline finished.
+    Deadline,
+}
+
+impl FormadErrorKind {
+    /// Stable diagnostic label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FormadErrorKind::Parse => "parse",
+            FormadErrorKind::Validate => "validate",
+            FormadErrorKind::Ad => "ad",
+            FormadErrorKind::ProverPanic => "prover-panic",
+            FormadErrorKind::Deadline => "deadline",
+        }
+    }
 }
 
 /// Errors from the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FormadError {
+    /// Machine-readable classification.
+    pub kind: FormadErrorKind,
+    /// Human-readable detail.
     pub message: String,
+}
+
+impl FormadError {
+    pub fn new(kind: FormadErrorKind, message: impl Into<String>) -> FormadError {
+        FormadError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(message: impl Into<String>) -> FormadError {
+        FormadError::new(FormadErrorKind::Parse, message)
+    }
+
+    pub fn validate(message: impl Into<String>) -> FormadError {
+        FormadError::new(FormadErrorKind::Validate, message)
+    }
 }
 
 impl fmt::Display for FormadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "formad: {}", self.message)
+        write!(f, "formad [{}]: {}", self.kind.label(), self.message)
     }
 }
 
@@ -74,7 +137,10 @@ impl std::error::Error for FormadError {}
 
 impl From<AdError> for FormadError {
     fn from(e: AdError) -> Self {
-        FormadError { message: e.message }
+        FormadError {
+            kind: FormadErrorKind::Ad,
+            message: e.message,
+        }
     }
 }
 
@@ -128,11 +194,12 @@ impl Formad {
     /// derive the safeguard plan.
     pub fn analyze(&self, primal: &Program) -> Result<FormadAnalysis, FormadError> {
         formad_ir::validate_strict(primal)
-            .map_err(|e| FormadError { message: format!("invalid primal: {e}") })?;
+            .map_err(|e| FormadError::validate(format!("invalid primal: {e}")))?;
         let activity =
             Activity::analyze(primal, &self.options.independents, &self.options.dependents);
         let mut regions = Vec::new();
         let mut maps: Vec<HashMap<String, IncMode>> = Vec::new();
+        let mut stats = SolverStats::default();
         for (k, l) in primal.parallel_loops().into_iter().enumerate() {
             let ra = analyze_region(primal, l, k, &activity, &self.options.region);
             let mut map = HashMap::new();
@@ -145,12 +212,14 @@ impl Formad {
                     },
                 );
             }
+            stats.merge(&ra.stats);
             maps.push(map);
             regions.push(ra);
         }
         Ok(FormadAnalysis {
             regions,
             plan: ParallelTreatment::PerArray(maps),
+            stats,
         })
     }
 
@@ -173,7 +242,12 @@ impl Formad {
     }
 
     fn ad_options(&self, treatment: ParallelTreatment) -> AdjointOptions {
-        let indep: Vec<&str> = self.options.independents.iter().map(|s| s.as_str()).collect();
+        let indep: Vec<&str> = self
+            .options
+            .independents
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         let dep: Vec<&str> = self.options.dependents.iter().map(|s| s.as_str()).collect();
         AdjointOptions::new(&indep, &dep, treatment)
     }

@@ -20,15 +20,27 @@
 //! index tuples is UNSAT under the knowledge usable at the pair's common
 //! context root. All pairs safe ⇒ the adjoint array is declared `shared`
 //! with no atomics.
+//!
+//! **Degradation ladder.** The prover is treated like a fallible service:
+//! each per-array proof attempt is panic-isolated (`catch_unwind`), runs
+//! under the configured budget/deadline, and on `Unknown(Budget)` is
+//! retried with an escalated budget. Any failure mode — budget, deadline,
+//! cancellation, or a prover panic — degrades *that array* to `Guarded`
+//! (atomics stay in place) and records why; it never aborts the analysis
+//! and never produces an unsound `Shared`.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use formad_analysis::{
     collect_refs, AccessKind, Activity, ArrayRef, Cfg, Contexts, CtxId, IncRole, Instances,
 };
 use formad_ir::{count_stmts, Expr, ForLoop, Program, Stmt, Ty};
-use formad_smt::{Formula, SatResult, Solver, SolverBudget, Term};
+use formad_smt::{
+    CancelToken, ChaosConfig, ChaosSolver, Formula, SatResult, Solver, SolverApi, SolverBudget,
+    SolverStats, StopReason, Term,
+};
 
 use crate::translate::{Taint, Translator};
 
@@ -40,6 +52,37 @@ pub enum Decision {
     /// At least one pair not provably disjoint: guard with atomics (or
     /// privatize). The payload explains why.
     Guarded(String),
+}
+
+/// How a per-array decision was reached — the rung of the degradation
+/// ladder the analysis ended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Every candidate conflict was proven absent (UNSAT).
+    Proved,
+    /// A definite obstruction: a satisfiable conflict pair, an
+    /// untranslatable index, or a suspected primal race.
+    Refuted,
+    /// The work budget ran out on every attempt of the retry ladder.
+    BudgetExhausted,
+    /// The wall-clock deadline (or a cancellation) cut the proof short;
+    /// escalating the budget cannot help, so no retry was made.
+    TimedOut,
+    /// The prover panicked; the analysis recovered by keeping safeguards.
+    Recovered,
+}
+
+impl Provenance {
+    /// Short tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Provenance::Proved => "proved",
+            Provenance::Refuted => "refuted",
+            Provenance::BudgetExhausted => "budget-exhausted",
+            Provenance::TimedOut => "timed-out",
+            Provenance::Recovered => "recovered",
+        }
+    }
 }
 
 /// Analysis output for one parallel region (one row of Table 1).
@@ -63,6 +106,8 @@ pub struct RegionAnalysis {
     pub time: Duration,
     /// Per-array decisions for adjoint increments.
     pub decisions: HashMap<String, Decision>,
+    /// How each decision was reached (same keys as `decisions`).
+    pub provenance: HashMap<String, Provenance>,
     /// Diagnostics (possible primal races, unguardable overwrites).
     pub warnings: Vec<String>,
     /// Rendered write-set expressions proven disjoint (for §7.3-style
@@ -70,6 +115,23 @@ pub struct RegionAnalysis {
     pub safe_write_exprs: Vec<String>,
     /// First rejected adjoint expression per guarded array.
     pub rejected_exprs: Vec<String>,
+    /// Prover statistics accumulated over the region (all attempts).
+    pub stats: SolverStats,
+    /// Prover panics caught and recovered from during this region.
+    pub recovered_panics: u64,
+}
+
+impl RegionAnalysis {
+    /// True if any array was degraded for a resource/fault reason rather
+    /// than a definite refutation.
+    pub fn degraded(&self) -> bool {
+        self.provenance.values().any(|p| {
+            matches!(
+                p,
+                Provenance::BudgetExhausted | Provenance::TimedOut | Provenance::Recovered
+            )
+        })
+    }
 }
 
 /// Tunables for the region analysis.
@@ -85,8 +147,20 @@ pub struct RegionOptions {
     /// Use exact-increment detection (§5.4). Disabling is an ablation:
     /// increment writes are treated like plain writes.
     pub use_increment_detection: bool,
-    /// Solver budget per region.
+    /// Solver budget for the first (cheap) proof attempt per array.
     pub budget: SolverBudget,
+    /// Additional attempts after an `Unknown(Budget)`, each multiplying
+    /// the counter budgets by `escalation_factor`.
+    pub max_retries: u32,
+    /// Budget multiplier per retry rung.
+    pub escalation_factor: u64,
+    /// Wall-clock allowance per prover `check()` (`None` = unbounded).
+    pub prover_timeout: Option<Duration>,
+    /// Cooperative cancellation observed by every prover call.
+    pub cancel: Option<CancelToken>,
+    /// Fault injection for robustness tests: wraps the prover in a
+    /// `ChaosSolver` (seed offset by region index).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for RegionOptions {
@@ -96,6 +170,11 @@ impl Default for RegionOptions {
             use_contexts: true,
             use_increment_detection: true,
             budget: SolverBudget::default(),
+            max_retries: 2,
+            escalation_factor: 8,
+            prover_timeout: None,
+            cancel: None,
+            chaos: None,
         }
     }
 }
@@ -116,12 +195,42 @@ pub fn analyze_region(
     activity: &Activity,
     opts: &RegionOptions,
 ) -> RegionAnalysis {
+    match &opts.chaos {
+        Some(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.seed = cfg.seed.wrapping_add(region as u64);
+            let mut solver = ChaosSolver::new(cfg);
+            analyze_region_with(prog, l, region, activity, opts, &mut solver)
+        }
+        None => {
+            let mut solver = Solver::new();
+            analyze_region_with(prog, l, region, activity, opts, &mut solver)
+        }
+    }
+}
+
+/// [`analyze_region`] against a caller-provided prover (the real
+/// [`Solver`] or a fault-injecting [`ChaosSolver`]).
+pub fn analyze_region_with<S: SolverApi>(
+    prog: &Program,
+    l: &ForLoop,
+    region: usize,
+    activity: &Activity,
+    opts: &RegionOptions,
+    solver: &mut S,
+) -> RegionAnalysis {
     let started = Instant::now();
     let cfg = Cfg::build(&l.body);
     let contexts = Contexts::build(&cfg);
     let instances = Instances::analyze(&cfg);
     let refs = collect_refs(&cfg);
     let info = l.parallel.as_ref().expect("parallel region");
+
+    solver.set_budget(opts.budget);
+    solver.set_timeout(opts.prover_timeout);
+    if let Some(token) = &opts.cancel {
+        solver.set_cancel_token(token.clone());
+    }
 
     let mut out = RegionAnalysis {
         region,
@@ -132,9 +241,12 @@ pub fn analyze_region(
         queries: 0,
         time: Duration::ZERO,
         decisions: HashMap::new(),
+        provenance: HashMap::new(),
         warnings: Vec::new(),
         safe_write_exprs: Vec::new(),
         rejected_exprs: Vec::new(),
+        stats: SolverStats::default(),
+        recovered_panics: 0,
     };
 
     // Written arrays and privatized scalars.
@@ -147,7 +259,10 @@ pub fn analyze_region(
     privatized.extend(info.reductions.iter().map(|(_, v)| v.clone()));
     for s in &l.body {
         s.walk(&mut |st| match st {
-            Stmt::Assign { lhs: formad_ir::LValue::Var(v), .. } => {
+            Stmt::Assign {
+                lhs: formad_ir::LValue::Var(v),
+                ..
+            } => {
                 privatized.insert(v.clone());
             }
             Stmt::For(inner) => {
@@ -169,7 +284,11 @@ pub fn analyze_region(
     let mut tainted_arrays: HashMap<String, String> = HashMap::new();
     for r in &refs {
         let ctx = contexts.ctx_of[r.node];
-        let ctx = if opts.use_contexts { ctx } else { contexts.root };
+        let ctx = if opts.use_contexts {
+            ctx
+        } else {
+            contexts.root
+        };
         let inc = if opts.use_increment_detection {
             r.inc
         } else {
@@ -195,17 +314,16 @@ pub fn analyze_region(
     // ------------------------------------------------------------------
     // Root assertions.
     // ------------------------------------------------------------------
-    let mut solver = Solver::with_budget(opts.budget);
     let counter = Term::sym(l.var.clone());
     let counter_p = tr.prime(&counter);
     let mut roots: Vec<Formula> = Vec::new();
-    match Formula::term_ne(&counter, &counter_p, &mut solver.table) {
+    match Formula::term_ne(&counter, &counter_p, solver.table_mut()) {
         Ok(f) => roots.push(f),
         Err(e) => out.warnings.push(format!("root assertion failed: {e}")),
     }
     out.model_size += 1;
     if opts.stride_constraints {
-        if let Some(fs) = stride_formulas(&tr, l, &counter, &counter_p, &mut solver) {
+        if let Some(fs) = stride_formulas(&tr, l, &counter, &counter_p, solver.table_mut()) {
             roots.extend(fs);
         }
     }
@@ -236,7 +354,7 @@ pub fn analyze_region(
                     continue;
                 };
                 let wp = tr.prime_tuple(w_terms);
-                match Formula::tuple_ne(&wp, e_terms, &mut solver.table) {
+                match Formula::tuple_ne(&wp, e_terms, solver.table_mut()) {
                     Ok(f) => {
                         facts.push((site, f));
                         out.model_size += 1;
@@ -252,28 +370,48 @@ pub fn analyze_region(
     out.safe_write_exprs.dedup();
     out.unique_exprs = expr_set.len();
 
-    // buildModel satisfiability safeguard, per context (paper §5.5).
+    // buildModel satisfiability safeguard, per context (paper §5.5). A
+    // prover panic here is recovered and treated like a suspected race:
+    // the whole region keeps its safeguards.
     let mut race_detected = false;
+    let mut race_provenance = Provenance::Refuted;
     for c in (0..contexts.count).map(|k| CtxId(k as u32)) {
-        solver.push();
-        for f in &roots {
-            solver.assert(f.clone());
-        }
-        for (site, f) in &facts {
-            if contexts.included(c, *site) {
+        let checked = catch_unwind(AssertUnwindSafe(|| {
+            solver.push();
+            for f in &roots {
                 solver.assert(f.clone());
             }
-        }
-        let r = solver.check();
-        solver.pop();
-        if r == SatResult::Unsat {
-            race_detected = true;
-            out.warnings.push(format!(
-                "knowledge base for context {c:?} is unsatisfiable: the primal \
-                 parallel loop over `{}` appears to contain a data race",
-                l.var
-            ));
-            break;
+            for (site, f) in &facts {
+                if contexts.included(c, *site) {
+                    solver.assert(f.clone());
+                }
+            }
+            let r = solver.check();
+            solver.pop();
+            r
+        }));
+        match checked {
+            Ok(SatResult::Unsat) => {
+                race_detected = true;
+                out.warnings.push(format!(
+                    "knowledge base for context {c:?} is unsatisfiable: the primal \
+                     parallel loop over `{}` appears to contain a data race",
+                    l.var
+                ));
+                break;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                solver.reset_to_base();
+                out.recovered_panics += 1;
+                race_detected = true;
+                race_provenance = Provenance::Recovered;
+                out.warnings.push(format!(
+                    "prover panicked while validating the knowledge model of \
+                     context {c:?}; keeping every safeguard in the region"
+                ));
+                break;
+            }
         }
     }
 
@@ -299,11 +437,13 @@ pub fn analyze_region(
                 array.clone(),
                 Decision::Guarded("primal race suspected; all safeguards kept".into()),
             );
+            out.provenance.insert(array.clone(), race_provenance);
             continue;
         }
         if let Some(reason) = tainted_arrays.get(array) {
             out.decisions
                 .insert(array.clone(), Decision::Guarded(reason.clone()));
+            out.provenance.insert(array.clone(), Provenance::Refuted);
             continue;
         }
         // Adjoint reference sets derived from the primal ones (§5.4).
@@ -340,71 +480,217 @@ pub fn analyze_region(
         if q_writes.is_empty() {
             // Adjoint only reads this array: trivially shared.
             out.decisions.insert(array.clone(), Decision::Shared);
+            out.provenance.insert(array.clone(), Provenance::Proved);
             continue;
         }
 
-        let mut verdict = Decision::Shared;
-        'pairs: for (w_terms, w_ctx, from_overwrite) in &q_writes {
-            for (e_terms, e_ctx) in &q_all {
-                let usable = contexts.usable_for(*w_ctx, *e_ctx);
-                solver.push();
-                for f in &roots {
-                    solver.assert(f.clone());
-                }
-                for (site, f) in &facts {
-                    if usable.contains(site) {
-                        solver.assert(f.clone());
-                    }
-                }
-                let wp = tr.prime_tuple(w_terms);
-                let q = match Formula::tuple_eq(&wp, e_terms, &mut solver.table) {
-                    Ok(q) => q,
-                    Err(e) => {
-                        solver.pop();
-                        verdict =
-                            Decision::Guarded(format!("query normalization failed: {e}"));
-                        break 'pairs;
-                    }
+        // Escalating-budget retry ladder with panic isolation: the cheap
+        // pass runs first; only `Unknown(Budget)` outcomes are re-proven
+        // with larger counters. A deadline/cancellation trip is final (a
+        // bigger budget cannot beat the clock), and a panic consumes the
+        // attempt but leaves the solver usable via `reset_to_base`.
+        let mut budget = opts.budget;
+        let mut panics_here = 0u32;
+        let mut last_failure = StopReason::Budget;
+        let mut settled: Option<(Decision, Provenance)> = None;
+        for attempt in 0..=opts.max_retries {
+            if attempt > 0 {
+                budget = SolverBudget {
+                    max_lia_calls: budget.max_lia_calls.saturating_mul(opts.escalation_factor),
+                    max_branches: budget.max_branches.saturating_mul(opts.escalation_factor),
+                    ..budget
                 };
-                solver.assert(q);
-                let r = solver.check();
-                solver.pop();
-                if r != SatResult::Unsat {
-                    // Report the expression outside the proven-safe write
-                    // set when possible (the paper's §7.3 presentation).
-                    let w_r = render_tuple(w_terms);
-                    let e_r = render_tuple(e_terms);
-                    let rej = if !out.safe_write_exprs.contains(&e_r) {
-                        e_r.clone()
-                    } else if !out.safe_write_exprs.contains(&w_r) {
-                        w_r.clone()
-                    } else {
-                        e_r.clone()
-                    };
-                    out.rejected_exprs.push(rej.clone());
-                    if *from_overwrite {
-                        out.warnings.push(format!(
-                            "adjoint of `{array}` has a potentially conflicting \
-                             overwrite at ({rej}); atomics cannot guard overwrites — \
-                             treat this region's adjoint as requiring privatization \
-                             or serialization"
-                        ));
+            }
+            solver.set_budget(budget);
+            let proof = catch_unwind(AssertUnwindSafe(|| {
+                prove_array(
+                    &mut *solver,
+                    &roots,
+                    &facts,
+                    &contexts,
+                    &tr,
+                    &q_writes,
+                    &q_all,
+                    &out.safe_write_exprs,
+                )
+            }));
+            match proof {
+                Err(_) => {
+                    solver.reset_to_base();
+                    panics_here += 1;
+                    last_failure = StopReason::Panicked;
+                }
+                Ok(ArrayProof::Safe) => {
+                    settled = Some((Decision::Shared, Provenance::Proved));
+                    break;
+                }
+                Ok(ArrayProof::Conflict {
+                    rejected,
+                    verdict,
+                    overwrite_warning,
+                }) => {
+                    out.rejected_exprs.push(rejected);
+                    if let Some(w) = overwrite_warning {
+                        out.warnings.push(w);
                     }
-                    verdict = Decision::Guarded(format!(
-                        "cannot prove ({}) disjoint from ({})",
-                        rej,
-                        render_tuple(e_terms)
-                    ));
-                    break 'pairs;
+                    settled = Some((verdict, Provenance::Refuted));
+                    break;
+                }
+                Ok(ArrayProof::NormalizationFailed(msg)) => {
+                    settled = Some((Decision::Guarded(msg), Provenance::Refuted));
+                    break;
+                }
+                Ok(ArrayProof::Unknown(reason)) => {
+                    last_failure = reason;
+                    if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
+                        break;
+                    }
                 }
             }
         }
-        out.decisions.insert(array.clone(), verdict);
+        if panics_here > 0 {
+            out.recovered_panics += u64::from(panics_here);
+            out.warnings.push(format!(
+                "prover panicked {panics_here}× while analyzing adjoint of \
+                 `{array}`; recovered"
+            ));
+        }
+        let (decision, provenance) = settled.unwrap_or_else(|| match last_failure {
+            StopReason::Deadline | StopReason::Cancelled => (
+                Decision::Guarded(format!(
+                    "prover {last_failure} before a verdict; atomics kept"
+                )),
+                Provenance::TimedOut,
+            ),
+            StopReason::Panicked => (
+                Decision::Guarded("prover panicked on every attempt; atomics kept".to_string()),
+                Provenance::Recovered,
+            ),
+            StopReason::Budget => (
+                Decision::Guarded(format!(
+                    "budget exhausted after {} attempts; atomics kept",
+                    opts.max_retries + 1
+                )),
+                Provenance::BudgetExhausted,
+            ),
+        });
+        out.decisions.insert(array.clone(), decision);
+        out.provenance.insert(array.clone(), provenance);
     }
+    solver.set_budget(opts.budget);
 
-    out.queries = solver.stats.checks;
+    out.stats = solver.stats();
+    out.queries = out.stats.checks;
     out.time = started.elapsed();
     out
+}
+
+/// Outcome of one panic-isolated proof attempt over all conflict pairs of
+/// one adjoint array.
+enum ArrayProof {
+    /// Every pair proven disjoint.
+    Safe,
+    /// A pair is satisfiable (or structurally rejected): definite guard.
+    Conflict {
+        rejected: String,
+        verdict: Decision,
+        overwrite_warning: Option<String>,
+    },
+    /// A query could not be normalized into the solver fragment.
+    NormalizationFailed(String),
+    /// The prover gave up on some pair without a definite answer.
+    Unknown(StopReason),
+}
+
+/// Try to prove every candidate conflict pair of one array disjoint.
+/// Leaves the solver balanced (every `push` matched by a `pop`) on every
+/// non-panicking path.
+#[allow(clippy::too_many_arguments)]
+fn prove_array<S: SolverApi>(
+    solver: &mut S,
+    roots: &[Formula],
+    facts: &[(CtxId, Formula)],
+    contexts: &Contexts,
+    tr: &Translator<'_>,
+    q_writes: &[(Vec<Term>, CtxId, bool)],
+    q_all: &[(Vec<Term>, CtxId)],
+    safe_write_exprs: &[String],
+) -> ArrayProof {
+    let mut unknown: Option<StopReason> = None;
+    for (w_terms, w_ctx, from_overwrite) in q_writes {
+        for (e_terms, e_ctx) in q_all {
+            let usable = contexts.usable_for(*w_ctx, *e_ctx);
+            solver.push();
+            for f in roots {
+                solver.assert(f.clone());
+            }
+            for (site, f) in facts {
+                if usable.contains(site) {
+                    solver.assert(f.clone());
+                }
+            }
+            let wp = tr.prime_tuple(w_terms);
+            let q = match Formula::tuple_eq(&wp, e_terms, solver.table_mut()) {
+                Ok(q) => q,
+                Err(e) => {
+                    solver.pop();
+                    return ArrayProof::NormalizationFailed(format!(
+                        "query normalization failed: {e}"
+                    ));
+                }
+            };
+            solver.assert(q);
+            let r = solver.check();
+            solver.pop();
+            match r {
+                SatResult::Unsat => {}
+                SatResult::Unknown(reason) => {
+                    // Remember and move on: a later pair may still be a
+                    // definite conflict, which beats retrying.
+                    unknown = unknown.or(Some(reason));
+                }
+                SatResult::Sat => {
+                    return conflict(w_terms, e_terms, *from_overwrite, safe_write_exprs);
+                }
+            }
+        }
+    }
+    match unknown {
+        Some(reason) => ArrayProof::Unknown(reason),
+        None => ArrayProof::Safe,
+    }
+}
+
+/// Build the `Conflict` outcome for a satisfiable pair, preferring to
+/// report the expression outside the proven-safe write set (the paper's
+/// §7.3 presentation).
+fn conflict(
+    w_terms: &[Term],
+    e_terms: &[Term],
+    from_overwrite: bool,
+    safe_write_exprs: &[String],
+) -> ArrayProof {
+    let w_r = render_tuple(w_terms);
+    let e_r = render_tuple(e_terms);
+    let rejected = if !safe_write_exprs.contains(&e_r) {
+        e_r.clone()
+    } else if !safe_write_exprs.contains(&w_r) {
+        w_r.clone()
+    } else {
+        e_r.clone()
+    };
+    let overwrite_warning = from_overwrite.then(|| {
+        format!(
+            "adjoint has a potentially conflicting overwrite at ({rejected}); \
+             atomics cannot guard overwrites — treat this region's adjoint as \
+             requiring privatization or serialization"
+        )
+    });
+    ArrayProof::Conflict {
+        rejected: rejected.clone(),
+        verdict: Decision::Guarded(format!("cannot prove ({rejected}) disjoint from ({e_r})")),
+        overwrite_warning,
+    }
 }
 
 fn dedup_refs<'a>(iter: impl Iterator<Item = &'a TrRef>) -> Vec<(Vec<Term>, CtxId)> {
@@ -446,7 +732,7 @@ fn stride_formulas(
     l: &ForLoop,
     counter: &Term,
     counter_p: &Term,
-    solver: &mut Solver,
+    table: &mut formad_smt::AtomTable,
 ) -> Option<Vec<Formula>> {
     // Only worthwhile for non-unit strides.
     if l.step == Expr::IntLit(1) {
@@ -463,23 +749,14 @@ fn stride_formulas(
     let k = Term::sym("k$");
     let kp = Term::sym("k$'");
     let mut fs = Vec::new();
-    fs.push(
-        Formula::term_eq(
-            counter,
-            &(lo.clone() + step.clone() * k.clone()),
-            &mut solver.table,
-        )
-        .ok()?,
-    );
-    fs.push(
-        Formula::term_eq(counter_p, &(lo + step * kp.clone()), &mut solver.table).ok()?,
-    );
-    fs.push(Formula::term_ne(&k, &kp, &mut solver.table).ok()?);
+    fs.push(Formula::term_eq(counter, &(lo.clone() + step.clone() * k.clone()), table).ok()?);
+    fs.push(Formula::term_eq(counter_p, &(lo + step * kp.clone()), table).ok()?);
+    fs.push(Formula::term_ne(&k, &kp, table).ok()?);
     // k ≥ 0 on both ranks.
     for kk in [k, kp] {
         fs.push(Formula::Lit(formad_smt::Literal::le(
             formad_smt::LinExpr::constant(0),
-            formad_smt::normalize(&kk, &mut solver.table).ok()?,
+            formad_smt::normalize(&kk, table).ok()?,
         )));
     }
     Some(fs)

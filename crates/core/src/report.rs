@@ -3,7 +3,7 @@
 use std::fmt::Write;
 
 use crate::pipeline::FormadAnalysis;
-use crate::region::{Decision, RegionAnalysis};
+use crate::region::{Decision, Provenance, RegionAnalysis};
 
 /// Render one Table-1-style row: `problem, time, model size, queries,
 /// exprs, loc`.
@@ -42,14 +42,29 @@ pub fn region_report(r: &RegionAnalysis) -> String {
     let mut arrays: Vec<_> = r.decisions.iter().collect();
     arrays.sort_by(|a, b| a.0.cmp(b.0));
     for (arr, d) in arrays {
+        let tag = r
+            .provenance
+            .get(arr.as_str())
+            .map(Provenance::tag)
+            .unwrap_or("unrecorded");
         match d {
             Decision::Shared => {
-                let _ = writeln!(s, "  adjoint of `{arr}`: shared (no atomics needed)");
+                let _ = writeln!(
+                    s,
+                    "  adjoint of `{arr}`: shared (no atomics needed) [{tag}]"
+                );
             }
             Decision::Guarded(reason) => {
-                let _ = writeln!(s, "  adjoint of `{arr}`: guarded — {reason}");
+                let _ = writeln!(s, "  adjoint of `{arr}`: guarded [{tag}] — {reason}");
             }
         }
+    }
+    if r.stats.unknowns > 0 || r.recovered_panics > 0 {
+        let _ = writeln!(
+            s,
+            "  prover health: {} unknown verdicts ({} deadline/cancel), {} panics recovered",
+            r.stats.unknowns, r.stats.interrupts, r.recovered_panics
+        );
     }
     if !r.safe_write_exprs.is_empty() {
         let _ = writeln!(s, "  known-safe write expressions:");
@@ -74,6 +89,12 @@ pub fn full_report(name: &str, a: &FormadAnalysis) -> String {
     }
     if a.regions.is_empty() {
         s.push_str("  (no parallel regions)\n");
+    }
+    if a.degraded() {
+        s.push_str(
+            "  note: some arrays kept safeguards due to resource limits or \
+             recovered prover faults (correctness unaffected; only speed)\n",
+        );
     }
     s
 }

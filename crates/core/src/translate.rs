@@ -69,9 +69,7 @@ impl<'a> Translator<'a> {
                     indices.iter().map(|ix| self.term(ix, node)).collect();
                 Term::App(array.clone(), args?)
             }
-            Expr::Unary { op: UnOp::Neg, arg } => {
-                Term::Neg(Box::new(self.term(arg, node)?))
-            }
+            Expr::Unary { op: UnOp::Neg, arg } => Term::Neg(Box::new(self.term(arg, node)?)),
             Expr::Binary { op, lhs, rhs } => {
                 let a = Box::new(self.term(lhs, node)?);
                 let b = Box::new(self.term(rhs, node)?);

@@ -6,7 +6,9 @@ use formad_ir::parse_program;
 
 fn analyze(src: &str, indep: &[&str], dep: &[&str]) -> formad::FormadAnalysis {
     let p = parse_program(src).unwrap();
-    Formad::new(FormadOptions::new(indep, dep)).analyze(&p).unwrap()
+    Formad::new(FormadOptions::new(indep, dep))
+        .analyze(&p)
+        .unwrap()
 }
 
 fn decision<'a>(a: &'a formad::FormadAnalysis, region: usize, arr: &str) -> &'a Decision {
@@ -247,11 +249,14 @@ end subroutine
         &["x"],
         &["y"],
     );
-    assert!(a
-        .regions[0]
-        .warnings
-        .iter()
-        .any(|w| w.contains("data race")), "{:?}", a.regions[0].warnings);
+    assert!(
+        a.regions[0]
+            .warnings
+            .iter()
+            .any(|w| w.contains("data race")),
+        "{:?}",
+        a.regions[0].warnings
+    );
     assert!(matches!(decision(&a, 0, "x"), Decision::Guarded(_)));
 }
 

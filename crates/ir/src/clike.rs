@@ -141,115 +141,196 @@ fn lex(src: &str) -> Result<Vec<CToken>, ParseError> {
                 }
             }
             '{' => {
-                toks.push(CToken { kind: CTok::LBrace, line });
+                toks.push(CToken {
+                    kind: CTok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                toks.push(CToken { kind: CTok::RBrace, line });
+                toks.push(CToken {
+                    kind: CTok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                toks.push(CToken { kind: CTok::LParen, line });
+                toks.push(CToken {
+                    kind: CTok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                toks.push(CToken { kind: CTok::RParen, line });
+                toks.push(CToken {
+                    kind: CTok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                toks.push(CToken { kind: CTok::LBracket, line });
+                toks.push(CToken {
+                    kind: CTok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                toks.push(CToken { kind: CTok::RBracket, line });
+                toks.push(CToken {
+                    kind: CTok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                toks.push(CToken { kind: CTok::Semi, line });
+                toks.push(CToken {
+                    kind: CTok::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                toks.push(CToken { kind: CTok::Comma, line });
+                toks.push(CToken {
+                    kind: CTok::Comma,
+                    line,
+                });
                 i += 1;
             }
             '%' => {
-                toks.push(CToken { kind: CTok::Percent, line });
+                toks.push(CToken {
+                    kind: CTok::Percent,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                toks.push(CToken { kind: CTok::Star, line });
+                toks.push(CToken {
+                    kind: CTok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                toks.push(CToken { kind: CTok::Slash, line });
+                toks.push(CToken {
+                    kind: CTok::Slash,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
                 if i + 1 < n && b[i + 1] == b'+' {
-                    toks.push(CToken { kind: CTok::PlusPlus, line });
+                    toks.push(CToken {
+                        kind: CTok::PlusPlus,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::PlusAssign, line });
+                    toks.push(CToken {
+                        kind: CTok::PlusAssign,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Plus, line });
+                    toks.push(CToken {
+                        kind: CTok::Plus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if i + 1 < n && b[i + 1] == b'-' {
-                    toks.push(CToken { kind: CTok::MinusMinus, line });
+                    toks.push(CToken {
+                        kind: CTok::MinusMinus,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::MinusAssign, line });
+                    toks.push(CToken {
+                        kind: CTok::MinusAssign,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Minus, line });
+                    toks.push(CToken {
+                        kind: CTok::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::Eq, line });
+                    toks.push(CToken {
+                        kind: CTok::Eq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Assign, line });
+                    toks.push(CToken {
+                        kind: CTok::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::Ne, line });
+                    toks.push(CToken {
+                        kind: CTok::Ne,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Not, line });
+                    toks.push(CToken {
+                        kind: CTok::Not,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::Le, line });
+                    toks.push(CToken {
+                        kind: CTok::Le,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Lt, line });
+                    toks.push(CToken {
+                        kind: CTok::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && b[i + 1] == b'=' {
-                    toks.push(CToken { kind: CTok::Ge, line });
+                    toks.push(CToken {
+                        kind: CTok::Ge,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(CToken { kind: CTok::Gt, line });
+                    toks.push(CToken {
+                        kind: CTok::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '&' if i + 1 < n && b[i + 1] == b'&' => {
-                toks.push(CToken { kind: CTok::AndAnd, line });
+                toks.push(CToken {
+                    kind: CTok::AndAnd,
+                    line,
+                });
                 i += 2;
             }
             '|' if i + 1 < n && b[i + 1] == b'|' => {
-                toks.push(CToken { kind: CTok::OrOr, line });
+                toks.push(CToken {
+                    kind: CTok::OrOr,
+                    line,
+                });
                 i += 2;
             }
             c if c.is_ascii_digit() => {
@@ -281,16 +362,18 @@ fn lex(src: &str) -> Result<Vec<CToken>, ParseError> {
                 let text = &src[start..i];
                 if is_real {
                     toks.push(CToken {
-                        kind: CTok::Real(text.parse().map_err(|_| {
-                            err(line, format!("bad real literal `{text}`"))
-                        })?),
+                        kind: CTok::Real(
+                            text.parse()
+                                .map_err(|_| err(line, format!("bad real literal `{text}`")))?,
+                        ),
                         line,
                     });
                 } else {
                     toks.push(CToken {
-                        kind: CTok::Int(text.parse().map_err(|_| {
-                            err(line, format!("bad integer literal `{text}`"))
-                        })?),
+                        kind: CTok::Int(
+                            text.parse()
+                                .map_err(|_| err(line, format!("bad integer literal `{text}`")))?,
+                        ),
                         line,
                     });
                 }
@@ -308,7 +391,10 @@ fn lex(src: &str) -> Result<Vec<CToken>, ParseError> {
             other => return Err(err(line, format!("unexpected character `{other}`"))),
         }
     }
-    toks.push(CToken { kind: CTok::Eof, line });
+    toks.push(CToken {
+        kind: CTok::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -420,12 +506,10 @@ impl CParser {
 
     fn param(&mut self) -> Result<Decl, ParseError> {
         let is_const = self.eat_kw("const");
-        let ty = self
-            .base_ty()?
-            .ok_or_else(|| ParseError {
-                line: self.line(),
-                message: "expected parameter type".into(),
-            })?;
+        let ty = self.base_ty()?.ok_or_else(|| ParseError {
+            line: self.line(),
+            message: "expected parameter type".into(),
+        })?;
         let name = self.ident()?;
         let mut dims = Vec::new();
         while self.eat(&CTok::LBracket) {
@@ -518,11 +602,7 @@ impl CParser {
         }
     }
 
-    fn pragma_stmt(
-        &mut self,
-        pragma: &str,
-        locals: &mut Vec<Decl>,
-    ) -> Result<Stmt, ParseError> {
+    fn pragma_stmt(&mut self, pragma: &str, locals: &mut Vec<Decl>) -> Result<Stmt, ParseError> {
         let p = pragma.trim().to_ascii_lowercase();
         if p == "atomic" {
             let lv = self.lvalue()?;
@@ -779,9 +859,7 @@ impl CParser {
                         });
                     }
                     match Intrinsic::from_name(&name) {
-                        Some(f) if args.len() == f.arity() => {
-                            Ok(Expr::Call { func: f, args })
-                        }
+                        Some(f) if args.len() == f.arity() => Ok(Expr::Call { func: f, args }),
                         Some(f) => self.err(format!(
                             "intrinsic {} takes {} argument(s)",
                             f.name(),
@@ -1022,7 +1100,12 @@ void t(int n, const int c[n], double y[n]) {
 "#;
         let p = parse_clike(src).unwrap();
         let Stmt::For(l) = &p.body[0] else { panic!() };
-        let Stmt::If { cond, then_body, else_body } = &l.body[0] else {
+        let Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } = &l.body[0]
+        else {
             panic!()
         };
         assert!(matches!(cond, BoolExpr::And(_, _)));

@@ -114,7 +114,11 @@ pub enum Expr {
     /// Unary operation.
     Unary { op: UnOp, arg: Box<Expr> },
     /// Binary operation.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Intrinsic function call.
     Call { func: Intrinsic, args: Vec<Expr> },
 }
@@ -166,6 +170,7 @@ impl Expr {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::Unary {
             op: UnOp::Neg,
@@ -422,7 +427,11 @@ mod tests {
     fn operator_sugar_builds_trees() {
         let e = v("a") + v("b") * Expr::int(2);
         match e {
-            Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(*lhs, v("a"));
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }

@@ -111,9 +111,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             && matches!(
                 toks.last().map(|t| &t.kind),
                 None | Some(TokKind::Newline) | Some(TokKind::Pragma(_))
-            ) {
-                return;
-            }
+            )
+        {
+            return;
+        }
         toks.push(Token { kind, line });
     };
 
@@ -272,7 +273,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 // Exponent part.
-                if i < n && (bytes[i] == b'e' || bytes[i] == b'E' || bytes[i] == b'd' || bytes[i] == b'D')
+                if i < n
+                    && (bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || bytes[i] == b'd'
+                        || bytes[i] == b'D')
                 {
                     let mut j = i + 1;
                     if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
@@ -377,7 +382,9 @@ mod tests {
             .iter()
             .any(|t| matches!(t, TokKind::Pragma(p) if p == "parallel do shared(u)")));
         // the comment text is gone
-        assert!(!k.iter().any(|t| matches!(t, TokKind::Ident(s) if s == "trailing")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokKind::Ident(s) if s == "trailing")));
     }
 
     #[test]

@@ -317,12 +317,11 @@ impl Parser {
                 None => self.err("!$omp atomic must be followed by an increment statement"),
             }
         } else if p.starts_with("parallel do") {
-            let info = parse_parallel_clauses(&pragma["parallel do".len()..]).map_err(|m| {
-                ParseError {
+            let info =
+                parse_parallel_clauses(&pragma["parallel do".len()..]).map_err(|m| ParseError {
                     line: self.line(),
                     message: m,
-                }
-            })?;
+                })?;
             self.skip_newlines();
             if !self.at_kw("do") {
                 return self.err("`!$omp parallel do` must be followed by a do loop");
@@ -715,7 +714,11 @@ end subroutine
     fn pow_right_assoc() {
         let e = parse_expr("a ** b ** c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Pow, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Pow,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -758,7 +761,10 @@ end subroutine
 "#;
         let p = parse_program(src).unwrap();
         let Stmt::For(l) = &p.body[0] else { panic!() };
-        let Stmt::If { cond, else_body, .. } = &l.body[0] else {
+        let Stmt::If {
+            cond, else_body, ..
+        } = &l.body[0]
+        else {
             panic!()
         };
         assert!(matches!(cond, BoolExpr::And(_, _)));

@@ -39,7 +39,8 @@ pub fn validate(p: &Program) -> Vec<ValidateError> {
     let mut seen = HashSet::new();
     for d in p.decls() {
         if !seen.insert(d.name.clone()) {
-            v.errors.push(err(format!("duplicate declaration `{}`", d.name)));
+            v.errors
+                .push(err(format!("duplicate declaration `{}`", d.name)));
         }
         for dim in &d.dims {
             v.check_int_expr(dim, &format!("extent of `{}`", d.name));
@@ -74,9 +75,8 @@ impl<'a> Validator<'a> {
             Expr::Var(name) => match self.prog.decl(name) {
                 Some(d) => {
                     if d.is_array() {
-                        self.errors.push(err(format!(
-                            "array `{name}` used without indices"
-                        )));
+                        self.errors
+                            .push(err(format!("array `{name}` used without indices")));
                     }
                     Some(d.ty)
                 }
@@ -362,7 +362,9 @@ subroutine t(n, u, a)
 end subroutine
 "#,
         );
-        assert!(errs.iter().any(|e| e.message.contains("integer expression")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("integer expression")));
     }
 
     #[test]
@@ -452,7 +454,9 @@ subroutine t(n, a)
 end subroutine
 "#,
         );
-        assert!(errs.iter().any(|e| e.message.contains("must be an integer")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("must be an integer")));
     }
 
     #[test]

@@ -154,8 +154,14 @@ impl GfmcCase {
             .real("xee", 0.7)
             .real("xmm", 0.3)
             .real("xf", 0.05)
-            .real_array("cr", (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .real_array("cl", (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .real_array(
+                "cr",
+                (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            )
+            .real_array(
+                "cl",
+                (0..ns * ns).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            )
     }
 
     /// Bindings for the split variant (no `msx` parameter).

@@ -40,12 +40,10 @@ impl NativeStencil {
             let ptr = unew_cell.load(std::sync::atomic::Ordering::Relaxed) as usize;
             parallel_for(threads, count, |_, k| {
                 let i = start + k * stride - 1; // 0-based
-                // Safety: iterations of one pass write disjoint index sets
-                // {i-r..i} by construction (stride = r+1), which is
-                // exactly what FormAD proves for the IR version.
-                let unew = unsafe {
-                    std::slice::from_raw_parts_mut(ptr as *mut f64, n)
-                };
+                                                // Safety: iterations of one pass write disjoint index sets
+                                                // {i-r..i} by construction (stride = r+1), which is
+                                                // exactly what FormAD proves for the IR version.
+                let unew = unsafe { std::slice::from_raw_parts_mut(ptr as *mut f64, n) };
                 for k2 in 0..=self.radius {
                     unew[i - k2] += self.w[k2] * uold[i - k2];
                 }
@@ -71,9 +69,7 @@ impl NativeStencil {
                 // Safety: adjoint increments target uoldb{i-r-1..i}, whose
                 // disjointness across iterations is the FormAD theorem for
                 // this kernel (reads share the write-set index structure).
-                let uoldb = unsafe {
-                    std::slice::from_raw_parts_mut(ptr as *mut f64, n)
-                };
+                let uoldb = unsafe { std::slice::from_raw_parts_mut(ptr as *mut f64, n) };
                 for k2 in 0..=self.radius {
                     uoldb[i - k2] += self.w[k2] * unewb[i - k2];
                 }
@@ -175,7 +171,11 @@ mod tests {
         let mut unew_native = vec![0.0; n];
         st.primal_sweep(1, &uold, &mut unew_native);
 
-        let case = crate::StencilCase { n, sweeps: 1, radius: r };
+        let case = crate::StencilCase {
+            n,
+            sweeps: 1,
+            radius: r,
+        };
         let p = case.ir();
         let mut b = Bindings::new()
             .int("n", n as i64)
@@ -206,6 +206,9 @@ mod tests {
         let mut jt = vec![0.0; n];
         st.adjoint_sweep_plain(1, &unewb, &mut jt);
         let rhs: f64 = jt.iter().zip(&v).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

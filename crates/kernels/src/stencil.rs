@@ -26,12 +26,20 @@ pub struct StencilCase {
 impl StencilCase {
     /// The paper's small stencil at a given scale.
     pub fn small(n: usize, sweeps: usize) -> StencilCase {
-        StencilCase { n, sweeps, radius: 1 }
+        StencilCase {
+            n,
+            sweeps,
+            radius: 1,
+        }
     }
 
     /// The paper's large stencil at a given scale.
     pub fn large(n: usize, sweeps: usize) -> StencilCase {
-        StencilCase { n, sweeps, radius: 8 }
+        StencilCase {
+            n,
+            sweeps,
+            radius: 8,
+        }
     }
 
     /// Surface-syntax source of the primal subroutine.
@@ -96,7 +104,10 @@ impl StencilCase {
             .int("n", self.n as i64)
             .int("nsweep", self.sweeps as i64)
             .real_array("w", w)
-            .real_array("uold", (0..self.n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .real_array(
+                "uold",
+                (0..self.n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            )
             .real_array("unew", vec![0.0; self.n])
     }
 
@@ -130,7 +141,10 @@ mod tests {
         let src = c.source();
         assert!(src.contains("do i = from, n - 1, 2"), "{src}");
         assert!(src.contains("unew(i) = unew(i) + w(1) * uold(i)"), "{src}");
-        assert!(src.contains("unew(i) = unew(i) + w(3) * uold(i - 1)"), "{src}");
+        assert!(
+            src.contains("unew(i) = unew(i) + w(3) * uold(i - 1)"),
+            "{src}"
+        );
         assert!(src.contains("unew(i - 1) = unew(i - 1)"), "{src}");
         let _ = c.ir();
     }

@@ -86,14 +86,17 @@ fn lbm_decision_and_stats() {
         .analyze(&lbm::lbm_ir())
         .unwrap();
     assert!(
-        matches!(a.regions[0].decisions.get("srcgrid"), Some(Decision::Guarded(_))),
+        matches!(
+            a.regions[0].decisions.get("srcgrid"),
+            Some(Decision::Guarded(_))
+        ),
         "{:?}",
         a.regions[0].decisions
     );
     // Table 1, LBM: 19 unique write expressions → model size 1 + 19² = 362
     // (srcgrid contributes no knowledge: it is never written).
     assert_eq!(a.regions[0].unique_exprs, 19); // Table 1: e = 19 (srcgrid is never written, so only dstgrid contributes)
-    // The safe write set is printed for §7.3-style reporting.
+                                               // The safe write set is printed for §7.3-style reporting.
     assert_eq!(a.regions[0].safe_write_exprs.len(), 19);
     assert!(!a.regions[0].rejected_exprs.is_empty());
 }
@@ -126,7 +129,9 @@ fn check_versions(
     let dep: Vec<&str> = dependents.iter().map(|(n, _)| *n).collect();
     let tool = Formad::new(FormadOptions::new(&indep, &dep));
     let formad_adj = tool.differentiate(primal).unwrap().adjoint;
-    let serial = tool.adjoint_with(primal, ParallelTreatment::Serial).unwrap();
+    let serial = tool
+        .adjoint_with(primal, ParallelTreatment::Serial)
+        .unwrap();
     let atomic = tool
         .adjoint_with(primal, ParallelTreatment::Uniform(IncMode::Atomic))
         .unwrap();

@@ -85,21 +85,23 @@ pub fn dot_product_test(
             .ok_or_else(|| ExecError::new(format!("dependent `{name}` unbound")))?
             .len();
         assert_eq!(arr_len, w.len(), "seed length mismatch for {name}");
-        b.real_arrays
-            .insert(format!("{name}{suffix}"), w.clone());
+        b.real_arrays.insert(format!("{name}{suffix}"), w.clone());
     }
     for (name, v) in independents {
         // Zero-initialized adjoint accumulators (unless the variable is
         // also a dependent and already seeded).
         let key = format!("{name}{suffix}");
-        b.real_arrays.entry(key).or_insert_with(|| vec![0.0; v.len()]);
+        b.real_arrays
+            .entry(key)
+            .or_insert_with(|| vec![0.0; v.len()]);
     }
     // Any other active adjoint parameters default to zero.
     for d in &adjoint.params {
         if d.is_array() && !b.real_arrays.contains_key(&d.name) && d.ty == formad_ir::Ty::Real {
             if let Some(stem) = d.name.strip_suffix(suffix) {
                 if let Some(primal_arr) = base.get_real_array(stem) {
-                    b.real_arrays.insert(d.name.clone(), vec![0.0; primal_arr.len()]);
+                    b.real_arrays
+                        .insert(d.name.clone(), vec![0.0; primal_arr.len()]);
                 }
             }
         }

@@ -48,7 +48,11 @@ impl Machine {
 /// Run `prog` against `bind` on `machine`. Parameter arrays and scalars
 /// are read from the bindings and written back afterwards; locals are
 /// zero-initialized.
-pub fn run(prog: &Program, bind: &mut Bindings, machine: &Machine) -> Result<ExecResult, ExecError> {
+pub fn run(
+    prog: &Program,
+    bind: &mut Bindings,
+    machine: &Machine,
+) -> Result<ExecResult, ExecError> {
     let lp = lower(prog, bind)?;
     let mut it = Interp::new(&lp, machine, bind, prog)?;
     it.exec_body(&lp.body)?;
@@ -577,8 +581,16 @@ impl<'a> Interp<'a> {
         let chunk = (count as usize).div_ceil(t_n);
 
         // Save private scalars (restored after the region) and the counter.
-        let saved_r: Vec<f64> = lp.private_r.iter().map(|s| self.reals[*s as usize]).collect();
-        let saved_i: Vec<i64> = lp.private_i.iter().map(|s| self.ints[*s as usize]).collect();
+        let saved_r: Vec<f64> = lp
+            .private_r
+            .iter()
+            .map(|s| self.reals[*s as usize])
+            .collect();
+        let saved_i: Vec<i64> = lp
+            .private_i
+            .iter()
+            .map(|s| self.ints[*s as usize])
+            .collect();
         let saved_counter = self.ints[f.var as usize];
 
         // Reduction bookkeeping.
@@ -874,7 +886,11 @@ subroutine at(n, y)
 end subroutine
 "#;
         let plain_src = src.replace("!$omp atomic\n", "");
-        let mk = || Bindings::new().int("n", 100).real_array("y", vec![0.0; 100]);
+        let mk = || {
+            Bindings::new()
+                .int("n", 100)
+                .real_array("y", vec![0.0; 100])
+        };
         let (oa, ra) = exec(src, mk(), 4);
         let (op_, rp) = exec(&plain_src, mk(), 4);
         assert_eq!(oa.get_real_array("y"), op_.get_real_array("y"));
@@ -1007,7 +1023,11 @@ end subroutine
             let vals: Vec<f64> = (0..17).map(|k| k as f64 * 1.25).collect();
             let b = Bindings::new().int("n", 17).real_array("y", vals.clone());
             let (out, _) = exec(src, b, threads);
-            assert_eq!(out.get_real_array("y").unwrap(), vals.as_slice(), "T={threads}");
+            assert_eq!(
+                out.get_real_array("y").unwrap(),
+                vals.as_slice(),
+                "T={threads}"
+            );
         }
     }
 

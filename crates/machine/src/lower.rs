@@ -3,8 +3,9 @@
 
 use std::collections::HashMap;
 
-use formad_ir::{BinOp, BoolExpr, CmpOp, Decl, Expr, Intrinsic, LValue, Program, RedOp, Stmt, Ty,
-                UnOp};
+use formad_ir::{
+    BinOp, BoolExpr, CmpOp, Decl, Expr, Intrinsic, LValue, Program, RedOp, Stmt, Ty, UnOp,
+};
 
 use crate::bindings::{Bindings, ExecError};
 
@@ -183,11 +184,17 @@ impl<'a> Lowerer<'a> {
     fn gather_scalars(body: &[Stmt], out: &mut std::collections::HashSet<String>) {
         for s in body {
             match s {
-                Stmt::Assign { lhs: LValue::Var(v), rhs }
-                    if rhs.has_array_ref() => {
-                        out.insert(v.clone());
-                    }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::Assign {
+                    lhs: LValue::Var(v),
+                    rhs,
+                } if rhs.has_array_ref() => {
+                    out.insert(v.clone());
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     Self::gather_scalars(then_body, out);
                     Self::gather_scalars(else_body, out);
                 }
@@ -208,7 +215,10 @@ impl<'a> Lowerer<'a> {
         }
         let len: i64 = dims.iter().product();
         if len < 0 {
-            return Err(ExecError::new(format!("array `{}` has negative size", d.name)));
+            return Err(ExecError::new(format!(
+                "array `{}` has negative size",
+                d.name
+            )));
         }
         let id = self.arrays.len() as ArrId;
         self.arrays.push(ArrMeta {
@@ -284,17 +294,20 @@ impl<'a> Lowerer<'a> {
                     .get(array)
                     .ok_or_else(|| ExecError::new(format!("unbound array `{array}`")))?;
                 let indirect = self.is_indirect(indices);
-                let idx: Result<Vec<LExpr>, _> =
-                    indices.iter().map(|ix| self.lower_expr(ix, Ty::Int)).collect();
+                let idx: Result<Vec<LExpr>, _> = indices
+                    .iter()
+                    .map(|ix| self.lower_expr(ix, Ty::Int))
+                    .collect();
                 LExpr::Elem(id, idx?, indirect)
             }
-            Expr::Unary { op: UnOp::Neg, arg } => {
-                LExpr::Neg(Box::new(self.lower_expr_raw(arg)?))
-            }
+            Expr::Unary { op: UnOp::Neg, arg } => LExpr::Neg(Box::new(self.lower_expr_raw(arg)?)),
             Expr::Binary { op, lhs, rhs } => {
                 let ty = self.ty_of_expr(e);
                 let (a, b) = if *op == BinOp::Mod {
-                    (self.lower_expr(lhs, Ty::Int)?, self.lower_expr(rhs, Ty::Int)?)
+                    (
+                        self.lower_expr(lhs, Ty::Int)?,
+                        self.lower_expr(rhs, Ty::Int)?,
+                    )
                 } else {
                     (self.lower_expr(lhs, ty)?, self.lower_expr(rhs, ty)?)
                 };
@@ -315,13 +328,17 @@ impl<'a> Lowerer<'a> {
     fn lower_bool(&self, b: &BoolExpr) -> Result<LBool, ExecError> {
         Ok(match b {
             BoolExpr::Cmp { op, lhs, rhs } => {
-                let ty = if self.ty_of_expr(lhs) == Ty::Real || self.ty_of_expr(rhs) == Ty::Real
-                {
+                let ty = if self.ty_of_expr(lhs) == Ty::Real || self.ty_of_expr(rhs) == Ty::Real {
                     Ty::Real
                 } else {
                     Ty::Int
                 };
-                LBool::Cmp(*op, ty, self.lower_expr(lhs, ty)?, self.lower_expr(rhs, ty)?)
+                LBool::Cmp(
+                    *op,
+                    ty,
+                    self.lower_expr(lhs, ty)?,
+                    self.lower_expr(rhs, ty)?,
+                )
             }
             BoolExpr::And(a, b) => {
                 LBool::And(Box::new(self.lower_bool(a)?), Box::new(self.lower_bool(b)?))
@@ -358,8 +375,10 @@ impl<'a> Lowerer<'a> {
                         .ok_or_else(|| ExecError::new(format!("unbound array `{array}`")))?;
                     let ty = self.arrays[id as usize].ty;
                     let indirect = self.is_indirect(indices);
-                    let idx: Result<Vec<LExpr>, _> =
-                        indices.iter().map(|ix| self.lower_expr(ix, Ty::Int)).collect();
+                    let idx: Result<Vec<LExpr>, _> = indices
+                        .iter()
+                        .map(|ix| self.lower_expr(ix, Ty::Int))
+                        .collect();
                     LStmt::AssignElem(id, idx?, self.lower_expr(rhs, ty)?, indirect)
                 }
             },
@@ -369,8 +388,10 @@ impl<'a> Lowerer<'a> {
                         .array_ids
                         .get(array)
                         .ok_or_else(|| ExecError::new(format!("unbound array `{array}`")))?;
-                    let idx: Result<Vec<LExpr>, _> =
-                        indices.iter().map(|ix| self.lower_expr(ix, Ty::Int)).collect();
+                    let idx: Result<Vec<LExpr>, _> = indices
+                        .iter()
+                        .map(|ix| self.lower_expr(ix, Ty::Int))
+                        .collect();
                     LStmt::AtomicAddElem(id, idx?, self.lower_expr(rhs, Ty::Real)?)
                 }
                 LValue::Var(_) => {
@@ -399,9 +420,10 @@ impl<'a> Lowerer<'a> {
                     Some(info) => {
                         let mut lp = LParallel::default();
                         for p in &info.private {
-                            let (slot, ty) = *self.scalar_slots.get(p).ok_or_else(|| {
-                                ExecError::new(format!("unbound private `{p}`"))
-                            })?;
+                            let (slot, ty) = *self
+                                .scalar_slots
+                                .get(p)
+                                .ok_or_else(|| ExecError::new(format!("unbound private `{p}`")))?;
                             match ty {
                                 Ty::Real => lp.private_r.push(slot),
                                 Ty::Int => lp.private_i.push(slot),
@@ -466,8 +488,10 @@ impl<'a> Lowerer<'a> {
                         .get(array)
                         .ok_or_else(|| ExecError::new(format!("unbound array `{array}`")))?;
                     let indirect = self.is_indirect(indices);
-                    let idx: Result<Vec<LExpr>, _> =
-                        indices.iter().map(|ix| self.lower_expr(ix, Ty::Int)).collect();
+                    let idx: Result<Vec<LExpr>, _> = indices
+                        .iter()
+                        .map(|ix| self.lower_expr(ix, Ty::Int))
+                        .collect();
                     LStmt::PopElem(id, idx?, indirect)
                 }
             },

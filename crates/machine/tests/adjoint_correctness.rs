@@ -39,17 +39,8 @@ fn check_all(
             .unwrap_or_else(|e| panic!("differentiate failed ({tname}): {e}"));
         for threads in [1usize, 3, 8] {
             let m = Machine::with_threads(threads);
-            let t = dot_product_test(
-                &primal,
-                &adj,
-                base,
-                independents,
-                dependents,
-                &m,
-                1e-6,
-                "b",
-            )
-            .unwrap_or_else(|e| panic!("execution failed ({tname}, T={threads}): {e}"));
+            let t = dot_product_test(&primal, &adj, base, independents, dependents, &m, 1e-6, "b")
+                .unwrap_or_else(|e| panic!("execution failed ({tname}, T={threads}): {e}"));
             assert!(
                 t.passes(tol),
                 "dot test failed ({tname}, T={threads}): fd={} adj={} rel={}",
@@ -185,7 +176,9 @@ end subroutine
     let n = 8usize; // edges; nodes = 2n but declared n-sized arrays: use n edges over n nodes.
     let mut r = rng();
     let e1: Vec<i64> = (1..=n as i64).collect();
-    let e2: Vec<i64> = (1..=n as i64).map(|k| if k % 2 == 0 { k - 1 } else { k }).collect();
+    let e2: Vec<i64> = (1..=n as i64)
+        .map(|k| if k % 2 == 0 { k - 1 } else { k })
+        .collect();
     // Edges with even ie connect (ie, ie-1); odd ie are self-loops that the
     // guard skips. Writes stay disjoint across iterations? Edge 2 touches
     // nodes {2,1}, edge 4 {4,3}, ... — disjoint. Self-loops write nothing.
@@ -250,8 +243,10 @@ end subroutine
 "#;
     // Note: y(i-1) read while y(i) written — loop-carried in the parallel
     // loop! Make it correct: read x only.
-    let src_fixed = src.replace("y(i) = y(i) + 0.25 * x(i) * y(i - 1)",
-                                 "y(i) = y(i) + 0.25 * x(i) * x(i - 1)");
+    let src_fixed = src.replace(
+        "y(i) = y(i) + 0.25 * x(i) * y(i - 1)",
+        "y(i) = y(i) + 0.25 * x(i) * x(i - 1)",
+    );
     let n = 12;
     let mut r = rng();
     let base = Bindings::new()

@@ -183,9 +183,19 @@ subroutine t(n, y)
   end do
 end subroutine
 "#;
-    let atomic = plain.replace("    y(i) = y(i) + 1.0", "    !$omp atomic\n    y(i) = y(i) + 1.0");
-    let reduction = plain.replace("!$omp parallel do shared(y)", "!$omp parallel do reduction(+: y)");
-    let mk = || Bindings::new().int("n", 500).real_array("y", vec![0.0; 500]);
+    let atomic = plain.replace(
+        "    y(i) = y(i) + 1.0",
+        "    !$omp atomic\n    y(i) = y(i) + 1.0",
+    );
+    let reduction = plain.replace(
+        "!$omp parallel do shared(y)",
+        "!$omp parallel do reduction(+: y)",
+    );
+    let mk = || {
+        Bindings::new()
+            .int("n", 500)
+            .real_array("y", vec![0.0; 500])
+    };
     let (op, rp) = exec(plain, mk(), 4);
     let (oa, ra) = exec(&atomic, mk(), 4);
     let (or_, rr) = exec(&reduction, mk(), 4);
@@ -209,7 +219,11 @@ subroutine t(n, y)
   end do
 end subroutine
 "#;
-    let mk = || Bindings::new().int("n", 2000).real_array("y", vec![0.0; 2000]);
+    let mk = || {
+        Bindings::new()
+            .int("n", 2000)
+            .real_array("y", vec![0.0; 2000])
+    };
     let p = parse_program(src).unwrap();
     let mut prev = 0u128;
     for threads in [1usize, 4, 18] {

@@ -2,9 +2,7 @@
 //! `x̄ = Jᵀ·ȳ`, the inner products `⟨ȳ, ẏ⟩` and `⟨x̄, ẋ⟩` must agree to
 //! machine precision (no finite differences involved).
 
-use formad_ad::{
-    differentiate, differentiate_tangent, AdjointOptions, IncMode, ParallelTreatment,
-};
+use formad_ad::{differentiate, differentiate_tangent, AdjointOptions, IncMode, ParallelTreatment};
 use formad_ir::parse_program;
 use formad_machine::{run, Bindings, Machine};
 use rand::rngs::StdRng;
@@ -35,10 +33,10 @@ fn consistency(
         bt.real_arrays.insert(format!("{name}d"), v.clone());
     }
     for (name, _) in ybar {
-        if !bt.real_arrays.contains_key(&format!("{name}d")) {
+        bt.real_arrays.entry(format!("{name}d")).or_insert_with(|| {
             let len = base.get_real_array(name).unwrap().len();
-            bt.real_arrays.insert(format!("{name}d"), vec![0.0; len]);
-        }
+            vec![0.0; len]
+        });
     }
     run(&tangent, &mut bt, &m).unwrap();
     let mut lhs = 0.0;
@@ -53,10 +51,10 @@ fn consistency(
         ba.real_arrays.insert(format!("{name}b"), w.clone());
     }
     for (name, _) in xdot {
-        if !ba.real_arrays.contains_key(&format!("{name}b")) {
+        ba.real_arrays.entry(format!("{name}b")).or_insert_with(|| {
             let len = base.get_real_array(name).unwrap().len();
-            ba.real_arrays.insert(format!("{name}b"), vec![0.0; len]);
-        }
+            vec![0.0; len]
+        });
     }
     run(&adjoint, &mut ba, &m).unwrap();
     let mut rhs = 0.0;
@@ -102,7 +100,15 @@ end subroutine
     let xd = rv(&mut r, n);
     let yb = rv(&mut r, n);
     for threads in [1, 4] {
-        consistency(src, &base, &["x"], &["y"], &[("x", xd.clone())], &[("y", yb.clone())], threads);
+        consistency(
+            src,
+            &base,
+            &["x"],
+            &["y"],
+            &[("x", xd.clone())],
+            &[("y", yb.clone())],
+            threads,
+        );
     }
 }
 
@@ -129,7 +135,15 @@ end subroutine
     let xd = rv(&mut r, n);
     let yb = rv(&mut r, n);
     for threads in [1, 3] {
-        consistency(src, &base, &["x"], &["y"], &[("x", xd.clone())], &[("y", yb.clone())], threads);
+        consistency(
+            src,
+            &base,
+            &["x"],
+            &["y"],
+            &[("x", xd.clone())],
+            &[("y", yb.clone())],
+            threads,
+        );
     }
 }
 

@@ -73,7 +73,10 @@ mod tests {
                         seen[i] += 1;
                     }
                 }
-                assert!(seen.iter().all(|c| *c == 1), "count={count} threads={threads}");
+                assert!(
+                    seen.iter().all(|c| *c == 1),
+                    "count={count} threads={threads}"
+                );
             }
         }
     }

@@ -11,11 +11,15 @@
 
 use std::collections::HashMap;
 
+use crate::ctrl::Interrupt;
 use crate::formula::{Clause, Formula, Literal, Rel};
 use crate::linexpr::{AtomKey, AtomTable, LinExpr};
 
 /// A satisfying assignment, symbol name → value.
 pub type Model = HashMap<String, i64>;
+
+/// How many assignments are tried between interrupt checks.
+const INTERRUPT_STRIDE: u64 = 4096;
 
 /// Exhaustively search `lo..=hi` per symbol for a model of `formulas`.
 /// Returns `Err` if a non-symbol atom appears, `Ok(None)` if no model
@@ -25,6 +29,20 @@ pub fn find_model(
     table: &AtomTable,
     lo: i64,
     hi: i64,
+) -> Result<Option<Model>, String> {
+    find_model_under(formulas, table, lo, hi, &Interrupt::none())
+}
+
+/// [`find_model`] with a deadline/cancellation bundle, polled every
+/// [`INTERRUPT_STRIDE`] assignments. A trip aborts the enumeration with
+/// `Err("interrupted: ...")` — callers cross-validating against the solver
+/// must then skip the comparison, not treat it as "no model".
+pub fn find_model_under(
+    formulas: &[Formula],
+    table: &AtomTable,
+    lo: i64,
+    hi: i64,
+    interrupt: &Interrupt,
 ) -> Result<Option<Model>, String> {
     let clauses: Vec<Clause> = formulas.iter().flat_map(|f| f.clone().to_cnf()).collect();
 
@@ -54,6 +72,11 @@ pub fn find_model(
 
     let mut values: HashMap<u32, i64> = HashMap::new();
     'outer: for k in 0..total {
+        if k % INTERRUPT_STRIDE == 0 {
+            if let Some(reason) = interrupt.tripped() {
+                return Err(format!("interrupted: {reason}"));
+            }
+        }
         let mut rem = k;
         for (id, _) in &atoms {
             values.insert(*id, lo + (rem % width) as i64);
@@ -105,9 +128,12 @@ mod tests {
     fn finds_model_for_simple_system() {
         let mut table = AtomTable::new();
         let f1 = Formula::term_ne(&Term::sym("x"), &Term::sym("y"), &mut table).unwrap();
-        let f2 =
-            Formula::term_eq(&(Term::sym("x") + Term::int(1)), &Term::sym("y"), &mut table)
-                .unwrap();
+        let f2 = Formula::term_eq(
+            &(Term::sym("x") + Term::int(1)),
+            &Term::sym("y"),
+            &mut table,
+        )
+        .unwrap();
         let m = find_model(&[f1, f2], &table, -2, 2).unwrap().unwrap();
         assert_eq!(m["y"], m["x"] + 1);
     }

@@ -19,6 +19,7 @@
 //! are kept). An explicit work budget returns `Unknown` instead of blowing
 //! up on adversarial inputs.
 
+use crate::ctrl::{Governor, Interrupt, StopReason};
 use crate::linexpr::{AtomId, LinExpr};
 
 /// Outcome of a feasibility check.
@@ -28,8 +29,16 @@ pub enum Feasibility {
     Feasible,
     /// No integer solution exists (proof by derivation — sound).
     Infeasible,
-    /// Work budget exhausted; treat as feasible for safety.
-    Unknown,
+    /// Work budget, deadline, or cancellation tripped; treat as feasible
+    /// for safety. The payload says which resource ran out.
+    Unknown(StopReason),
+}
+
+impl Feasibility {
+    /// True for any `Unknown`, regardless of reason.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Feasibility::Unknown(_))
+    }
 }
 
 /// Resource limits for the elimination.
@@ -50,13 +59,33 @@ impl Default for FmBudget {
     }
 }
 
-/// Decide feasibility of `∧ eqs = 0 ∧ ineqs ≤ 0` over the integers.
+/// Decide feasibility of `∧ eqs = 0 ∧ ineqs ≤ 0` over the integers,
+/// with no wall-clock bound (counters from `budget` still apply).
 pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasibility {
+    let inert = Interrupt::none();
+    let mut gov = Governor::new(&inert);
+    feasible_paced(eqs, ineqs, budget, &mut gov)
+}
+
+/// Decide feasibility under a shared [`Governor`]: the elimination polls
+/// it at pivot/row granularity and abandons the run with
+/// `Unknown(Deadline | Cancelled)` as soon as it trips. The solver
+/// threads one governor through all its feasibility calls so pacing is
+/// shared across a whole `check()`.
+pub fn feasible_paced(
+    eqs: &[LinExpr],
+    ineqs: &[LinExpr],
+    budget: &FmBudget,
+    gov: &mut Governor<'_>,
+) -> Feasibility {
     let mut eqs: Vec<LinExpr> = eqs.to_vec();
     let mut ineqs: Vec<LinExpr> = ineqs.to_vec();
 
     // --- Phase 1: equality elimination -----------------------------------
     loop {
+        if let Some(reason) = gov.poll() {
+            return Feasibility::Unknown(reason);
+        }
         // Normalize and screen all equalities (GCD test + constant rows).
         for e in eqs.iter_mut() {
             if e.is_const() {
@@ -127,7 +156,7 @@ pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasib
         eqs.remove(row_idx);
 
         if exceeds(&eqs, budget) || exceeds(&ineqs, budget) {
-            return Feasibility::Unknown;
+            return Feasibility::Unknown(StopReason::Budget);
         }
     }
 
@@ -145,11 +174,14 @@ pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasib
                     rows.push(r);
                 }
             }
-            None => return Feasibility::Unknown,
+            None => return Feasibility::Unknown(StopReason::Budget),
         }
     }
 
     loop {
+        if let Some(reason) = gov.poll() {
+            return Feasibility::Unknown(reason);
+        }
         // Pick the atom whose elimination creates the fewest new rows.
         let mut best: Option<(AtomId, usize)> = None;
         {
@@ -165,10 +197,8 @@ pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasib
                     }
                 }
             }
-            let atoms: std::collections::BTreeSet<AtomId> = rows
-                .iter()
-                .flat_map(|r| r.atoms())
-                .collect();
+            let atoms: std::collections::BTreeSet<AtomId> =
+                rows.iter().flat_map(|r| r.atoms()).collect();
             for a in atoms {
                 let u = uppers.get(&a).copied().unwrap_or(0);
                 let l = lowers.get(&a).copied().unwrap_or(0);
@@ -190,9 +220,12 @@ pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasib
         let mut next = keep;
         for u in &with_up {
             let a = u.coeff(atom); // a > 0
+            if let Some(reason) = gov.poll() {
+                return Feasibility::Unknown(reason);
+            }
             for l in &with_lo {
                 let b = -l.coeff(atom); // b > 0
-                // b·u + a·l eliminates atom; both multipliers positive.
+                                        // b·u + a·l eliminates atom; both multipliers positive.
                 let combined = u.scale(b).add_scaled(l, a);
                 debug_assert_eq!(combined.coeff(atom), 0);
                 match tighten(&combined) {
@@ -205,12 +238,12 @@ pub fn feasible(eqs: &[LinExpr], ineqs: &[LinExpr], budget: &FmBudget) -> Feasib
                             next.push(r);
                         }
                     }
-                    None => return Feasibility::Unknown,
+                    None => return Feasibility::Unknown(StopReason::Budget),
                 }
             }
         }
         if next.len() > budget.max_rows || exceeds(&next, budget) {
-            return Feasibility::Unknown;
+            return Feasibility::Unknown(StopReason::Budget);
         }
         rows = next;
     }
@@ -236,7 +269,8 @@ fn tighten(e: &LinExpr) -> Option<LinExpr> {
 
 fn exceeds(rows: &[LinExpr], budget: &FmBudget) -> bool {
     rows.iter().any(|r| {
-        r.constant.abs() > budget.max_coeff || r.terms.iter().any(|(_, c)| c.abs() > budget.max_coeff)
+        r.constant.abs() > budget.max_coeff
+            || r.terms.iter().any(|(_, c)| c.abs() > budget.max_coeff)
     })
 }
 
@@ -261,14 +295,8 @@ mod tests {
     #[test]
     fn trivial_cases() {
         assert_eq!(check(&[], &[]), Feasibility::Feasible);
-        assert_eq!(
-            check(&[LinExpr::constant(1)], &[]),
-            Feasibility::Infeasible
-        );
-        assert_eq!(
-            check(&[], &[LinExpr::constant(1)]),
-            Feasibility::Infeasible
-        );
+        assert_eq!(check(&[LinExpr::constant(1)], &[]), Feasibility::Infeasible);
+        assert_eq!(check(&[], &[LinExpr::constant(1)]), Feasibility::Infeasible);
         assert_eq!(check(&[], &[LinExpr::constant(0)]), Feasibility::Feasible);
     }
 

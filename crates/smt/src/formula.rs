@@ -50,7 +50,10 @@ impl Literal {
     pub fn lt(a: LinExpr, b: LinExpr) -> Literal {
         let mut e = a.sub(&b);
         e.constant += 1;
-        Literal { rel: Rel::Le, expr: e }
+        Literal {
+            rel: Rel::Le,
+            expr: e,
+        }
     }
 
     /// Logical negation.
@@ -68,7 +71,10 @@ impl Literal {
             Rel::Le => {
                 let mut e = self.expr.scale(-1);
                 e.constant += 1;
-                Literal { rel: Rel::Le, expr: e }
+                Literal {
+                    rel: Rel::Le,
+                    expr: e,
+                }
             }
         }
     }

@@ -42,14 +42,18 @@
 //! ```
 
 pub mod brute;
+pub mod chaos;
+pub mod ctrl;
 pub mod fm;
 pub mod formula;
 pub mod linexpr;
 pub mod solver;
 pub mod term;
 
-pub use fm::{feasible, Feasibility, FmBudget};
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosSolver};
+pub use ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
+pub use fm::{feasible, feasible_paced, Feasibility, FmBudget};
 pub use formula::{Clause, Formula, Literal, Rel};
 pub use linexpr::{normalize, AtomId, AtomKey, AtomTable, LinExpr, NormalizeError};
-pub use solver::{SatResult, Solver, SolverBudget, SolverStats};
+pub use solver::{SatResult, Solver, SolverApi, SolverBudget, SolverStats};
 pub use term::Term;

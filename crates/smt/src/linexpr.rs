@@ -162,7 +162,8 @@ impl LinExpr {
 
     /// `self + k·other`.
     pub fn add_scaled(&self, other: &LinExpr, k: i128) -> LinExpr {
-        let mut terms: Vec<(AtomId, i128)> = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let mut terms: Vec<(AtomId, i128)> =
+            Vec::with_capacity(self.terms.len() + other.terms.len());
         let (mut i, mut j) = (0, 0);
         while i < self.terms.len() || j < other.terms.len() {
             let take_left = match (self.terms.get(i), other.terms.get(j)) {
@@ -276,8 +277,7 @@ pub fn normalize(term: &Term, table: &mut AtomTable) -> Result<LinExpr, Normaliz
             Ok(LinExpr::atom(id))
         }
         Term::App(f, args) => {
-            let nargs: Result<Vec<LinExpr>, _> =
-                args.iter().map(|a| normalize(a, table)).collect();
+            let nargs: Result<Vec<LinExpr>, _> = args.iter().map(|a| normalize(a, table)).collect();
             let id = table.intern(AtomKey::App(f.clone(), nargs?));
             Ok(LinExpr::atom(id))
         }
@@ -375,11 +375,17 @@ mod tests {
     fn syntactic_congruence_of_apps() {
         let mut tab = AtomTable::new();
         // c(i + 0) and c(i) intern to the same atom.
-        let a = norm(&Term::app("c", vec![Term::sym("i") + Term::int(0)]), &mut tab);
+        let a = norm(
+            &Term::app("c", vec![Term::sym("i") + Term::int(0)]),
+            &mut tab,
+        );
         let b = norm(&Term::app("c", vec![Term::sym("i")]), &mut tab);
         assert_eq!(a, b);
         // c(i + 1) is a different atom.
-        let c = norm(&Term::app("c", vec![Term::sym("i") + Term::int(1)]), &mut tab);
+        let c = norm(
+            &Term::app("c", vec![Term::sym("i") + Term::int(1)]),
+            &mut tab,
+        );
         assert_ne!(a, c);
     }
 
@@ -406,11 +412,19 @@ mod tests {
     fn const_div_and_mod_fold() {
         let mut tab = AtomTable::new();
         assert_eq!(
-            norm(&Term::Div(Box::new(Term::int(7)), Box::new(Term::int(2))), &mut tab).constant,
+            norm(
+                &Term::Div(Box::new(Term::int(7)), Box::new(Term::int(2))),
+                &mut tab
+            )
+            .constant,
             3
         );
         assert_eq!(
-            norm(&Term::Mod(Box::new(Term::int(7)), Box::new(Term::int(2))), &mut tab).constant,
+            norm(
+                &Term::Mod(Box::new(Term::int(7)), Box::new(Term::int(2))),
+                &mut tab
+            )
+            .constant,
             1
         );
     }

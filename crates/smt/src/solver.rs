@@ -3,8 +3,10 @@
 //! paper's pipeline (§5.5, §6).
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
-use crate::fm::{feasible, Feasibility, FmBudget};
+use crate::ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
+use crate::fm::{feasible_paced, Feasibility, FmBudget};
 use crate::formula::{Clause, Formula, Literal, Rel};
 use crate::linexpr::{AtomId, AtomKey, AtomTable, LinExpr};
 
@@ -15,12 +17,29 @@ pub enum SatResult {
     Sat,
     /// Provably no integer model exists.
     Unsat,
-    /// Budget exhausted; callers must treat this like `Sat` (keep
-    /// safeguards).
-    Unknown,
+    /// Budget, deadline, or cancellation tripped (the payload says
+    /// which); callers must treat this like `Sat` (keep safeguards).
+    Unknown(StopReason),
 }
 
-/// Counters mirroring the statistics of Table 1 in the paper.
+impl SatResult {
+    /// True for any `Unknown`, regardless of stop reason.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SatResult::Unknown(_))
+    }
+
+    /// The stop reason, when the result is `Unknown`.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            SatResult::Unknown(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Counters mirroring the statistics of Table 1 in the paper. All
+/// counters saturate instead of wrapping, so aggregation over arbitrarily
+/// many regions can never overflow.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Number of `check()` calls (the paper's "queries").
@@ -32,6 +51,25 @@ pub struct SolverStats {
     pub lia_calls: u64,
     /// Number of branch nodes explored by the splitter.
     pub branches: u64,
+    /// Number of `check()` calls that ended `Unknown` (any reason).
+    pub unknowns: u64,
+    /// `Unknown`s attributable to the wall-clock deadline or an explicit
+    /// cancellation (as opposed to work-counter budgets).
+    pub interrupts: u64,
+}
+
+impl SolverStats {
+    /// Accumulate `other` into `self`, saturating on overflow. Used to
+    /// aggregate per-region statistics in the pipeline without
+    /// copy-paste summation.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.checks = self.checks.saturating_add(other.checks);
+        self.assertions_added = self.assertions_added.saturating_add(other.assertions_added);
+        self.lia_calls = self.lia_calls.saturating_add(other.lia_calls);
+        self.branches = self.branches.saturating_add(other.branches);
+        self.unknowns = self.unknowns.saturating_add(other.unknowns);
+        self.interrupts = self.interrupts.saturating_add(other.interrupts);
+    }
 }
 
 /// Work limits for a single `check()`.
@@ -70,6 +108,11 @@ pub struct Solver {
     /// Statistics accumulated over the solver's lifetime.
     pub stats: SolverStats,
     budget: SolverBudget,
+    /// Absolute deadline + cancellation shared by every `check()`.
+    interrupt: Interrupt,
+    /// Per-`check()` wall-clock allowance, combined with the absolute
+    /// deadline at each call (the tighter bound wins).
+    timeout: Option<Duration>,
 }
 
 impl Solver {
@@ -81,6 +124,8 @@ impl Solver {
             frames: Vec::new(),
             stats: SolverStats::default(),
             budget: SolverBudget::default(),
+            interrupt: Interrupt::none(),
+            timeout: None,
         }
     }
 
@@ -89,6 +134,41 @@ impl Solver {
         Solver {
             budget,
             ..Solver::new()
+        }
+    }
+
+    /// Replace the work budget (used by the escalating-retry policy).
+    pub fn set_budget(&mut self, budget: SolverBudget) {
+        self.budget = budget;
+    }
+
+    /// The current work budget.
+    pub fn budget(&self) -> SolverBudget {
+        self.budget
+    }
+
+    /// Set an absolute wall-clock deadline shared by all later checks.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.interrupt.deadline = deadline;
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.interrupt.cancel = Some(token);
+    }
+
+    /// Set a per-`check()` wall-clock allowance (`None` = unbounded).
+    /// Combined with any absolute deadline; the tighter bound wins.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Pop every open frame, restoring the solver to its base assertion
+    /// set. Used by recovery paths after a caught panic, where an
+    /// in-flight query may have left unbalanced `push`es behind.
+    pub fn reset_to_base(&mut self) {
+        while let Some(mark) = self.frames.pop() {
+            self.clauses.truncate(mark);
         }
     }
 
@@ -115,19 +195,33 @@ impl Solver {
         self.clauses.extend(clauses);
     }
 
-    /// Check satisfiability of all assertions on the stack.
+    /// Check satisfiability of all assertions on the stack, respecting
+    /// the work budget, the wall-clock deadline, and the cancel token.
     pub fn check(&mut self) -> SatResult {
-        self.stats.checks += 1;
+        self.stats.checks = self.stats.checks.saturating_add(1);
+        // Effective interrupt: absolute deadline ∧ per-check timeout.
+        let mut interrupt = self.interrupt.clone();
+        if let Some(t) = self.timeout {
+            interrupt.deadline = interrupt.deadline.earliest(Deadline::after(t));
+        }
+        let gov = Governor::new(&interrupt);
         let mut ctx = SearchCtx {
             budget: self.budget,
             lia_calls: 0,
             branches: 0,
             table: &self.table,
+            gov,
         };
         let clauses: Vec<Clause> = self.clauses.clone();
         let result = search(&Committed::default(), &clauses, &mut ctx);
-        self.stats.lia_calls += ctx.lia_calls;
-        self.stats.branches += ctx.branches;
+        self.stats.lia_calls = self.stats.lia_calls.saturating_add(ctx.lia_calls);
+        self.stats.branches = self.stats.branches.saturating_add(ctx.branches);
+        if let SatResult::Unknown(reason) = result {
+            self.stats.unknowns = self.stats.unknowns.saturating_add(1);
+            if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
+                self.stats.interrupts = self.stats.interrupts.saturating_add(1);
+            }
+        }
         result
     }
 
@@ -138,6 +232,85 @@ impl Solver {
         let r = self.check();
         self.pop();
         r
+    }
+}
+
+/// The solver surface the analysis pipeline programs against. Both the
+/// real [`Solver`] and the fault-injecting `ChaosSolver` implement it, so
+/// the degradation ladder in `formad-core` can be exercised under
+/// deterministic faults without a second code path.
+pub trait SolverApi {
+    /// The atom interner used to normalize terms into this solver.
+    fn table_mut(&mut self) -> &mut AtomTable;
+    /// Push a backtracking point.
+    fn push(&mut self);
+    /// Pop to the previous backtracking point.
+    fn pop(&mut self);
+    /// Assert a formula.
+    fn assert(&mut self, f: Formula);
+    /// Check satisfiability of the assertion stack.
+    fn check(&mut self) -> SatResult;
+    /// Statistics accumulated so far.
+    fn stats(&self) -> SolverStats;
+    /// Replace the work budget.
+    fn set_budget(&mut self, budget: SolverBudget);
+    /// The current work budget.
+    fn budget(&self) -> SolverBudget;
+    /// Per-`check()` wall-clock allowance.
+    fn set_timeout(&mut self, timeout: Option<Duration>);
+    /// Absolute deadline shared by later checks.
+    fn set_deadline(&mut self, deadline: Deadline);
+    /// Cooperative cancellation token.
+    fn set_cancel_token(&mut self, token: CancelToken);
+    /// Recover after a caught panic: drop all open frames.
+    fn reset_to_base(&mut self);
+
+    /// `push(); assert(f); check(); pop();` in one call.
+    fn check_with(&mut self, f: Formula) -> SatResult {
+        self.push();
+        self.assert(f);
+        let r = self.check();
+        self.pop();
+        r
+    }
+}
+
+impl SolverApi for Solver {
+    fn table_mut(&mut self) -> &mut AtomTable {
+        &mut self.table
+    }
+    fn push(&mut self) {
+        Solver::push(self);
+    }
+    fn pop(&mut self) {
+        Solver::pop(self);
+    }
+    fn assert(&mut self, f: Formula) {
+        Solver::assert(self, f);
+    }
+    fn check(&mut self) -> SatResult {
+        Solver::check(self)
+    }
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+    fn set_budget(&mut self, budget: SolverBudget) {
+        Solver::set_budget(self, budget);
+    }
+    fn budget(&self) -> SolverBudget {
+        Solver::budget(self)
+    }
+    fn set_timeout(&mut self, timeout: Option<Duration>) {
+        Solver::set_timeout(self, timeout);
+    }
+    fn set_deadline(&mut self, deadline: Deadline) {
+        Solver::set_deadline(self, deadline);
+    }
+    fn set_cancel_token(&mut self, token: CancelToken) {
+        Solver::set_cancel_token(self, token);
+    }
+    fn reset_to_base(&mut self) {
+        Solver::reset_to_base(self);
     }
 }
 
@@ -166,15 +339,19 @@ struct SearchCtx<'t> {
     lia_calls: u64,
     branches: u64,
     table: &'t AtomTable,
+    gov: Governor<'t>,
 }
 
 impl<'t> SearchCtx<'t> {
     fn lia(&mut self, eqs: &[LinExpr], ineqs: &[LinExpr]) -> Feasibility {
+        if let Some(reason) = self.gov.poll() {
+            return Feasibility::Unknown(reason);
+        }
         if self.lia_calls >= self.budget.max_lia_calls {
-            return Feasibility::Unknown;
+            return Feasibility::Unknown(StopReason::Budget);
         }
         self.lia_calls += 1;
-        feasible(eqs, ineqs, &self.budget.fm)
+        feasible_paced(eqs, ineqs, &self.budget.fm, &mut self.gov)
     }
 }
 
@@ -189,18 +366,17 @@ fn committed_feasible(c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
     if core != Feasibility::Feasible {
         return core;
     }
-    let mut any_unknown = false;
+    let mut unknown: Option<StopReason> = None;
     for ne in &c.nes {
         match ne_feasible(ne, c, ctx) {
             Feasibility::Infeasible => return Feasibility::Infeasible,
-            Feasibility::Unknown => any_unknown = true,
+            Feasibility::Unknown(r) => unknown = unknown.or(Some(r)),
             Feasibility::Feasible => {}
         }
     }
-    if any_unknown {
-        Feasibility::Unknown
-    } else {
-        Feasibility::Feasible
+    match unknown {
+        Some(r) => Feasibility::Unknown(r),
+        None => Feasibility::Feasible,
     }
 }
 
@@ -231,10 +407,9 @@ fn ne_feasible(ne: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibil
     if right == Feasibility::Feasible {
         return Feasibility::Feasible;
     }
-    if left == Feasibility::Unknown || right == Feasibility::Unknown {
-        Feasibility::Unknown
-    } else {
-        Feasibility::Infeasible
+    match (left, right) {
+        (Feasibility::Unknown(r), _) | (_, Feasibility::Unknown(r)) => Feasibility::Unknown(r),
+        _ => Feasibility::Infeasible,
     }
 }
 
@@ -340,9 +515,12 @@ fn entailed_zero(e: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> bool {
 }
 
 fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResult {
+    if let Some(reason) = ctx.gov.poll() {
+        return SatResult::Unknown(reason);
+    }
     ctx.branches += 1;
     if ctx.branches > ctx.budget.max_branches {
-        return SatResult::Unknown;
+        return SatResult::Unknown(StopReason::Budget);
     }
 
     // Unit propagation with feasibility-based literal pruning.
@@ -351,7 +529,7 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
     loop {
         let mut changed = false;
         let mut next: Vec<Clause> = Vec::with_capacity(live.len());
-        let mut saw_unknown = false;
+        let mut saw_unknown: Option<StopReason> = None;
         for clause in live.into_iter() {
             let mut kept: Vec<Literal> = Vec::with_capacity(clause.lits.len());
             for lit in clause.lits.into_iter() {
@@ -359,8 +537,8 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
                     Feasibility::Infeasible => {
                         changed = true; // literal pruned
                     }
-                    Feasibility::Unknown => {
-                        saw_unknown = true;
+                    Feasibility::Unknown(r) => {
+                        saw_unknown = saw_unknown.or(Some(r));
                         kept.push(lit);
                     }
                     Feasibility::Feasible => kept.push(lit),
@@ -369,10 +547,9 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
             match kept.len() {
                 0 => {
                     // Every disjunct contradicts the committed set.
-                    return if saw_unknown {
-                        SatResult::Unknown
-                    } else {
-                        SatResult::Unsat
+                    return match saw_unknown {
+                        Some(r) => SatResult::Unknown(r),
+                        None => SatResult::Unsat,
                     };
                 }
                 1 => {
@@ -396,7 +573,7 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
         return match committed_feasible(&committed, ctx) {
             Feasibility::Feasible => SatResult::Sat,
             Feasibility::Infeasible => SatResult::Unsat,
-            Feasibility::Unknown => SatResult::Unknown,
+            Feasibility::Unknown(r) => SatResult::Unknown(r),
         };
     }
 
@@ -414,19 +591,18 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
         .map(|(_, cl)| cl.clone())
         .collect();
 
-    let mut any_unknown = false;
+    let mut any_unknown: Option<StopReason> = None;
     for lit in &clause.lits {
         let child = committed.with(lit);
         match search(&child, &rest, ctx) {
             SatResult::Sat => return SatResult::Sat,
-            SatResult::Unknown => any_unknown = true,
+            SatResult::Unknown(r) => any_unknown = any_unknown.or(Some(r)),
             SatResult::Unsat => {}
         }
     }
-    if any_unknown {
-        SatResult::Unknown
-    } else {
-        SatResult::Unsat
+    match any_unknown {
+        Some(r) => SatResult::Unknown(r),
+        None => SatResult::Unsat,
     }
 }
 
@@ -491,12 +667,8 @@ mod tests {
         )
         .unwrap();
         s.assert(f);
-        let f = Formula::term_eq(
-            &sym("i'"),
-            &(sym("from") + two * sym("k'")),
-            &mut s.table,
-        )
-        .unwrap();
+        let f =
+            Formula::term_eq(&sym("i'"), &(sym("from") + two * sym("k'")), &mut s.table).unwrap();
         s.assert(f);
         let f = Formula::term_ne(&sym("k"), &sym("k'"), &mut s.table).unwrap();
         s.assert(f);

@@ -60,9 +60,7 @@ impl Term {
                 let name = if rename_funs { f(name) } else { name.clone() };
                 Term::App(
                     name,
-                    args.iter()
-                        .map(|a| a.rename_syms(f, rename_funs))
-                        .collect(),
+                    args.iter().map(|a| a.rename_syms(f, rename_funs)).collect(),
                 )
             }
             Term::Add(a, b) => Term::Add(
@@ -103,7 +101,10 @@ impl Term {
                     a.syms(out);
                 }
             }
-            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Div(a, b)
+            Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Div(a, b)
             | Term::Mod(a, b) => {
                 a.syms(out);
                 b.syms(out);

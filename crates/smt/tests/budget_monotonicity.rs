@@ -1,0 +1,96 @@
+//! Property: growing the work budget (or the deadline) is monotone.
+//!
+//! A definite verdict obtained under a small budget is never flipped by a
+//! larger one — `Unsat` stays `Unsat`, `Sat` stays `Sat` — and `Unknown`
+//! only ever resolves toward a definite answer. This is what makes the
+//! escalating-retry ladder in `formad-core` sound: retrying with a larger
+//! budget can only *improve* the answer.
+//!
+//! The guarantee falls out of determinism: the search explores the same
+//! tree in the same order, and a budget counter only decides where the
+//! exploration is cut short.
+
+use proptest::prelude::*;
+
+use formad_smt::{Formula, SatResult, Solver, SolverBudget, Term};
+
+/// A random conjunction of `=` / `≠` constraints between small linear
+/// terms over a 4-symbol pool.
+fn assert_constraints(s: &mut Solver, spec: &[(u8, u8, i8, bool)]) {
+    const SYMS: [&str; 4] = ["a", "b", "c", "d"];
+    for (l, r, off, eq) in spec {
+        let lhs = Term::sym(SYMS[(*l % 4) as usize]);
+        let rhs = Term::sym(SYMS[(*r % 4) as usize]) + Term::int(*off as i64);
+        let f = if *eq {
+            Formula::term_eq(&lhs, &rhs, &mut s.table).unwrap()
+        } else {
+            Formula::term_ne(&lhs, &rhs, &mut s.table).unwrap()
+        };
+        s.assert(f);
+    }
+}
+
+fn check_under(spec: &[(u8, u8, i8, bool)], budget: SolverBudget) -> SatResult {
+    let mut s = Solver::with_budget(budget);
+    assert_constraints(&mut s, spec);
+    s.check()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn definite_verdicts_survive_budget_growth(
+        spec in prop::collection::vec(
+            (0u8..4, 0u8..4, -3i8..=3, prop_oneof![Just(true), Just(false)]),
+            1..8,
+        ),
+        lia in 1u64..40,
+        branches in 1u64..12,
+        factor in 2u64..64,
+    ) {
+        let small = SolverBudget {
+            max_lia_calls: lia,
+            max_branches: branches,
+            ..SolverBudget::default()
+        };
+        let large = SolverBudget {
+            max_lia_calls: lia.saturating_mul(factor),
+            max_branches: branches.saturating_mul(factor),
+            ..small
+        };
+        let r_small = check_under(&spec, small);
+        let r_large = check_under(&spec, large);
+        match r_small {
+            SatResult::Sat | SatResult::Unsat => prop_assert_eq!(
+                r_large, r_small,
+                "definite verdict flipped under larger budget"
+            ),
+            SatResult::Unknown(_) => {
+                // Unknown may resolve either way or stay Unknown; all are
+                // legal. Nothing to assert beyond "no panic, no hang".
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_agrees_with_any_definite_small_verdict(
+        spec in prop::collection::vec(
+            (0u8..4, 0u8..4, -2i8..=2, prop_oneof![Just(true), Just(false)]),
+            1..6,
+        ),
+        lia in 1u64..25,
+    ) {
+        let small = SolverBudget {
+            max_lia_calls: lia,
+            max_branches: 6,
+            ..SolverBudget::default()
+        };
+        let r_small = check_under(&spec, small);
+        let r_full = check_under(&spec, SolverBudget::default());
+        prop_assert!(!r_full.is_unknown(), "default budget too small for tiny spec");
+        if let SatResult::Sat | SatResult::Unsat = r_small {
+            prop_assert_eq!(r_small, r_full);
+        }
+    }
+}

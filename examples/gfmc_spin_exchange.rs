@@ -27,9 +27,7 @@ fn main() {
     let guarded = matches!(a.regions[0].decisions.get("cr"), Some(Decision::Guarded(_)));
     assert!(guarded, "fused version must be rejected");
     let adj = tool.differentiate(&fused).expect("differentiate").adjoint;
-    let atomics = program_to_string(&adj)
-        .matches("!$omp atomic")
-        .count();
+    let atomics = program_to_string(&adj).matches("!$omp atomic").count();
     println!("=> generated adjoint contains {atomics} atomic update(s)\n");
 
     println!("==== split kernel (GFMC) ====");

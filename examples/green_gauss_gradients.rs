@@ -47,7 +47,9 @@ fn main() {
     let reduction = tool
         .adjoint_with(&primal, ParallelTreatment::Uniform(IncMode::Reduction))
         .unwrap();
-    let serial = tool.adjoint_with(&primal, ParallelTreatment::Serial).unwrap();
+    let serial = tool
+        .adjoint_with(&primal, ParallelTreatment::Serial)
+        .unwrap();
 
     println!("\nsimulated adjoint cost (giga-cycles), 18 threads:");
     let m18 = Machine::with_threads(18);
@@ -64,7 +66,10 @@ fn main() {
         ("reduction", &reduction),
     ] {
         let c = cost(prog, &m18);
-        println!("  {name:<10}: {c:.4}  (speedup vs serial: {:.2}x)", serial_c / c);
+        println!(
+            "  {name:<10}: {c:.4}  (speedup vs serial: {:.2}x)",
+            serial_c / c
+        );
     }
 
     // And gradient values are identical regardless of version.

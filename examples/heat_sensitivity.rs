@@ -61,7 +61,10 @@ fn main() {
     );
     // The copy loop's accesses are affine and conflict-free.
     let copy = &result.analysis.regions[1];
-    assert!(copy.decisions.values().all(|d| matches!(d, Decision::Shared)));
+    assert!(copy
+        .decisions
+        .values()
+        .all(|d| matches!(d, Decision::Shared)));
 
     let text = formad_ir::program_to_string(&result.adjoint);
     let n_atomics = text.matches("!$omp atomic").count();

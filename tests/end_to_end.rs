@@ -15,7 +15,11 @@ fn generated_adjoints_are_valid_source() {
         (StencilCase::small(32, 1).ir(), vec!["uold"], vec!["unew"]),
         (StencilCase::large(64, 1).ir(), vec!["uold"], vec!["unew"]),
         (GfmcCase::new(8, 1).ir(), vec!["cr", "cl"], vec!["cr", "cl"]),
-        (GfmcCase::new(8, 1).ir_star(), vec!["cr", "cl"], vec!["cr", "cl"]),
+        (
+            GfmcCase::new(8, 1).ir_star(),
+            vec!["cr", "cl"],
+            vec!["cr", "cl"],
+        ),
         (GreenGaussCase::linear(16, 1).ir(), vec!["dv"], vec!["grad"]),
         (formad_kernels::lbm_ir(), vec!["srcgrid"], vec!["dstgrid"]),
     ];
@@ -53,7 +57,8 @@ fn adjoint_values_identical_across_versions() {
     ));
     let formad_adj = tool.differentiate(&primal).unwrap().adjoint;
     let versions = [
-        tool.adjoint_with(&primal, ParallelTreatment::Serial).unwrap(),
+        tool.adjoint_with(&primal, ParallelTreatment::Serial)
+            .unwrap(),
         formad_adj,
         tool.adjoint_with(&primal, ParallelTreatment::Uniform(IncMode::Atomic))
             .unwrap(),
@@ -124,7 +129,7 @@ fn stencil_gradient_is_input_independent() {
     };
     // Different random uold/unew inputs, same weights (bindings use the
     // seed for both w and data, so fix w by patching).
-    let mut b1 = case.bindings(1);
+    let b1 = case.bindings(1);
     let mut b2 = case.bindings(2);
     let w = b1.get_real_array("w").unwrap().to_vec();
     b2.real_arrays.insert("w".into(), w);
@@ -165,9 +170,11 @@ fn report_rendering() {
 #[test]
 fn lbm_narrative() {
     let report = formad_bench::lbm_report();
-    assert!(report.contains("known safe write expressions")
-        || report.contains("set of known safe write expressions"));
-    assert_eq!(report.matches("nce").count() >= 19, true, "{report}");
+    assert!(
+        report.contains("known safe write expressions")
+            || report.contains("set of known safe write expressions")
+    );
+    assert!(report.matches("nce").count() >= 19, "{report}");
     assert!(report.contains("eb"), "{report}");
     assert!(report.contains("unsafe"), "{report}");
 }

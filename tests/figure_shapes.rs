@@ -43,7 +43,11 @@ fn assert_common_shape(fig: &FigureData) {
         assert!(red > atomic, "{}: reduction > atomic at {t}T", fig.name);
         assert!(formad > red, "{}: FormAD > reduction at {t}T", fig.name);
         if t >= 4 {
-            assert!(formad > 3.0 * red, "{}: FormAD ≫ reduction at {t}T", fig.name);
+            assert!(
+                formad > 3.0 * red,
+                "{}: FormAD ≫ reduction at {t}T",
+                fig.name
+            );
         }
     }
     // Headline: FormAD outperforms atomics and reductions by >5×

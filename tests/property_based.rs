@@ -74,7 +74,7 @@ proptest! {
                 "solver UNSAT but model {brute_model:?} exists"),
             SatResult::Sat => prop_assert!(brute_model.is_some(),
                 "solver SAT but brute force found nothing in the box"),
-            SatResult::Unknown => {}
+            SatResult::Unknown(_) => {}
         }
     }
 
@@ -102,7 +102,11 @@ fn small_expr_src() -> impl Strategy<Value = String> {
         (1i64..9).prop_map(|v| v.to_string()),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner)
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }

@@ -1,0 +1,168 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros (including the `config = ...` form).
+//!
+//! Measurement is a simple mean-of-samples timing loop — adequate for the
+//! relative comparisons the paper's figures need, with none of the real
+//! crate's statistics. Results print as `bench <name> ... <mean>`.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall time per iteration of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (also settles lazy init).
+        black_box(routine());
+        // Grow the batch until it runs long enough to time reliably.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.last_mean = total / (iters.max(1) as u32);
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {name:<48} {:>12.3?}/iter", b.last_mean);
+}
+
+/// Group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

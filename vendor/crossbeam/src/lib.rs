@@ -1,0 +1,62 @@
+//! Offline shim for the single `crossbeam` API this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn` closures that receive
+//! the scope as an argument. Backed by `std::thread::scope`.
+//!
+//! Behavioral difference: a panicking child thread makes the whole scope
+//! panic at join (std semantics) instead of surfacing as `Err`; callers
+//! here use `.expect(...)`, so the observable outcome is the same.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper handing the scope back to spawned closures, mirroring the
+    /// crossbeam `|scope| { scope.spawn(|_| ...) }` shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            });
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let hits = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..8 {
+                let hits = &hits;
+                scope.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,283 @@
+//! Value-generation strategies (shrink-free).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategy: `expand` wraps the strategy-so-far; the result
+    /// mixes leaves and recursive cases up to `depth` levels. The `_size`
+    /// and `_branch` hints of real proptest are accepted and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth.max(1) {
+            current = Union::new(vec![leaf.clone(), expand(current).boxed()]).boxed();
+        }
+        current
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`] and [`Union`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Shared type-erased strategy (clonable, unlike a `Box`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice among alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.options.len() as u128) as usize;
+        self.options[k].generate(rng)
+    }
+}
+
+// --- Integer ranges ----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// i128 ranges (span computed in u128; the workspace only uses small spans).
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below(span) as i128)
+    }
+}
+
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let span = hi.wrapping_sub(lo) as u128 + 1;
+        lo.wrapping_add(rng.below(span) as i128)
+    }
+}
+
+// --- Tuples and arrays -------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|k| self[k].generate(rng))
+    }
+}
+
+// --- Collections -------------------------------------------------------
+
+/// `prop::collection::vec(element, len_range)`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            self.len.clone().generate(rng)
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_arrays_tuples_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (-2i64..=2).generate(&mut rng);
+            assert!((-2..=2).contains(&v));
+            let arr = [-2i64..=2, -2i64..=2, -2i64..=2, -2i64..=2].generate(&mut rng);
+            assert!(arr.iter().all(|c| (-2..=2).contains(c)));
+            let (a, b) = (0usize..4, 0u8..3).generate(&mut rng);
+            assert!(a < 4 && b < 3);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = vec(0i64..10, 1..7).generate(&mut rng);
+            assert!((1..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::prop_oneof![
+            Just("i".to_string()),
+            Just("n".to_string()),
+            (1i64..9).prop_map(|v| v.to_string()),
+        ];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        let leaf = crate::prop_oneof![Just("x".to_string()), Just("1".to_string())];
+        let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let v = expr.generate(&mut rng);
+            assert!(v.len() < 200, "depth bound respected: {v}");
+        }
+    }
+}

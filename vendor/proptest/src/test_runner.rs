@@ -1,0 +1,92 @@
+//! Case runner and RNG for the mini-proptest.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: fail the test with this message.
+    Fail(String),
+    /// `prop_assume!` rejection: draw a fresh case instead.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic splitmix64 stream used to generate case inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678_9abc_def0,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % n
+    }
+}
+
+/// Drive `cfg.cases` successful cases of `f`, panicking on the first
+/// failure. Rejected cases are retried (with a global retry cap).
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut seed: u64 = 0;
+    while passed < cfg.cases {
+        let mut rng = TestRng::from_seed(seed);
+        seed += 1;
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > 10 * cfg.cases as u64 + 1000 {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed (case seed {}): {msg}", seed - 1);
+            }
+        }
+    }
+}
