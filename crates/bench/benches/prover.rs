@@ -3,7 +3,7 @@
 //! cost of the paper's Table 1 `time` column).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use formad_smt::{Formula, SatResult, Solver, Term};
+use formad_smt::{Formula, ProofCache, SatResult, Solver, Term};
 
 fn fig2_query(c: &mut Criterion) {
     c.bench_function("prover/fig2_indirect_unsat", |b| {
@@ -95,9 +95,34 @@ fn lbm_scale_model(c: &mut Criterion) {
     });
 }
 
+/// The Figure-2 query answered from the canonical proof cache: the first
+/// `check()` populates the entry, the measured loop replays the lookup
+/// path (canonicalization + shard probe, no solver search). The gap
+/// against `prover/fig2_indirect_unsat` is the per-hit saving.
+fn fig2_cached_repeat(c: &mut Criterion) {
+    let mut s = Solver::new();
+    s.set_cache(Some(ProofCache::new()));
+    let i = Term::sym("i");
+    let ip = Term::sym("i'");
+    let ci = Term::app("c", vec![i.clone()]);
+    let cip = Term::app("c", vec![ip.clone()]);
+    let f = Formula::term_ne(&i, &ip, &mut s.table).unwrap();
+    s.assert(f);
+    let f = Formula::term_ne(&ci, &cip, &mut s.table).unwrap();
+    s.assert(f);
+    let q = Formula::term_eq(&(ci + Term::int(7)), &(cip + Term::int(7)), &mut s.table).unwrap();
+    s.push();
+    s.assert(q);
+    assert_eq!(s.check(), SatResult::Unsat); // warm the cache
+    c.bench_function("prover/fig2_cached_repeat", |b| {
+        b.iter(|| assert_eq!(s.check(), SatResult::Unsat));
+    });
+    s.pop();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = fig2_query, stride_parity_query, lbm_scale_model
+    targets = fig2_query, stride_parity_query, lbm_scale_model, fig2_cached_repeat
 }
 criterion_main!(benches);

@@ -7,6 +7,10 @@
 //! repro fig7 | fig8       absolute time / speedup, GFMC
 //! repro fig9 | fig10      absolute time / speedup, Green-Gauss
 //! repro lbm               §7.3 LBM analysis narrative
+//! repro bench-prover [--iters K] [--jobs N] [--out PATH]
+//!                         prover throughput: the Table-1 suite analyzed
+//!                         sequential-uncached vs parallel+cached; JSON
+//!                         written to PATH (default BENCH_prover.json)
 //! repro all [outdir]      everything; CSVs written to outdir (default
 //!                         repro_out/)
 //! repro --scale big ...   closer-to-paper problem sizes (slower)
@@ -77,6 +81,7 @@ fn main() {
             formad_bench::ablation_text(&formad_bench::ablation_grid())
         ),
         "lbm" => print!("{}", lbm_report()),
+        "bench-prover" => bench_prover(&args[1..]),
         "fig3" => print_fig(
             &small_stencil(scale),
             Kind::Absolute,
@@ -120,11 +125,63 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "commands: table1 ablations lbm fig3..fig10 all [outdir] [--scale small|big]"
+                "commands: table1 ablations lbm bench-prover fig3..fig10 all [outdir] \
+                 [--scale small|big]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// `bench-prover [--iters K] [--jobs N] [--out PATH]` — measure the
+/// parallel+cached prover against the sequential seed path and record
+/// the result as JSON.
+fn bench_prover(rest: &[String]) {
+    let mut iters = 12usize;
+    let mut jobs = 4usize;
+    let mut out = "BENCH_prover.json".to_string();
+    let mut k = 0;
+    while k < rest.len() {
+        let need = |k: usize| {
+            rest.get(k + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} expects a value", rest[k]);
+                std::process::exit(2);
+            })
+        };
+        match rest[k].as_str() {
+            "--iters" => {
+                iters = need(k).parse().unwrap_or_else(|_| {
+                    eprintln!("--iters expects an integer");
+                    std::process::exit(2);
+                });
+                k += 2;
+            }
+            "--jobs" => {
+                jobs = need(k).parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects an integer");
+                    std::process::exit(2);
+                });
+                k += 2;
+            }
+            "--out" => {
+                out = need(k);
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown bench-prover option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let r = formad_bench::prover_bench(iters, jobs);
+    let json = formad_bench::prover_bench_json(&r);
+    fs::write(&out, &json).expect("write bench output");
+    print!("{json}");
+    eprintln!(
+        "bench-prover: {iters}×table1 suite, baseline {:.3}s vs optimized {:.3}s \
+         (jobs={jobs}, cache {} hits / {} misses) → speedup {:.2}×; wrote {out}",
+        r.baseline_s, r.optimized_s, r.cache_hits, r.cache_misses, r.speedup
+    );
 }
 
 fn small_stencil(s: Scale) -> FigureData {

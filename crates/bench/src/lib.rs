@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod prover_bench;
 pub mod versions;
 
 pub use ablation::{ablation_grid, ablation_text, AblationRow};
@@ -15,4 +16,5 @@ pub use experiments::{
     gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData, Table1Row,
     PAPER_THREADS,
 };
+pub use prover_bench::{prover_bench, prover_bench_json, ProverBenchResult};
 pub use versions::{adjoint_bindings, ProgramVersions};

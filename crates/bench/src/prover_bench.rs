@@ -1,0 +1,279 @@
+//! Prover-throughput benchmark: the paper's six-kernel analysis suite run
+//! end to end under two configurations.
+//!
+//! * **baseline** — `jobs = 1`, no proof cache: the sequential seed path,
+//!   every query solved from scratch.
+//! * **optimized** — a worker pool (`jobs`) plus ONE [`ProofCache`] shared
+//!   across every array, region, kernel, and iteration of the suite.
+//!
+//! Each configuration analyzes the whole suite `iters` times. Repeated
+//! iterations model the realistic workload the cache targets: a build
+//! system or test harness re-analyzing mostly-unchanged kernels, where
+//! canonically identical queries recur across runs. The benchmark also
+//! cross-checks every per-array verdict between the two configurations —
+//! a speedup obtained by changing an answer would be a soundness bug, so
+//! the harness refuses to report one.
+//!
+//! Results serialize to JSON by hand (`BENCH_prover.json` at the repo
+//! root) — the workspace takes no serde dependency for one flat record.
+
+use std::time::{Duration, Instant};
+
+use formad::{Decision, Formad, FormadOptions};
+use formad_ir::Program;
+use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+use formad_smt::{ProofCache, SolverStats};
+
+/// One kernel of the suite: a primal program plus its differentiation
+/// in- and outputs.
+#[derive(Debug)]
+pub struct SuiteKernel {
+    /// Table-1 problem name.
+    pub name: String,
+    /// Primal program.
+    pub program: Program,
+    /// Differentiation inputs.
+    pub independents: Vec<String>,
+    /// Differentiation outputs.
+    pub dependents: Vec<String>,
+}
+
+/// The six Table-1 problems at analysis-relevant sizes (the prover's
+/// work depends on the loop structure, not the array extents).
+pub fn suite() -> Vec<SuiteKernel> {
+    let own = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let gf = GfmcCase::new(16, 1);
+    vec![
+        SuiteKernel {
+            name: "stencil 1".into(),
+            program: StencilCase::small(64, 1).ir(),
+            independents: own(StencilCase::independents()),
+            dependents: own(StencilCase::dependents()),
+        },
+        SuiteKernel {
+            name: "stencil 8".into(),
+            program: StencilCase::large(128, 1).ir(),
+            independents: own(StencilCase::independents()),
+            dependents: own(StencilCase::dependents()),
+        },
+        SuiteKernel {
+            name: "GFMC".into(),
+            program: gf.ir(),
+            independents: own(GfmcCase::independents()),
+            dependents: own(GfmcCase::dependents()),
+        },
+        SuiteKernel {
+            name: "GFMC*".into(),
+            program: gf.ir_star(),
+            independents: own(GfmcCase::independents()),
+            dependents: own(GfmcCase::dependents()),
+        },
+        SuiteKernel {
+            name: "LBM".into(),
+            program: lbm::lbm_ir(),
+            independents: own(lbm::independents()),
+            dependents: own(lbm::dependents()),
+        },
+        SuiteKernel {
+            name: "GreenGauss".into(),
+            program: GreenGaussCase::linear(64, 1).ir(),
+            independents: own(GreenGaussCase::independents()),
+            dependents: own(GreenGaussCase::dependents()),
+        },
+    ]
+}
+
+/// Per-array verdicts of one suite pass, flattened for comparison:
+/// `(kernel, region, array, shared?)` in deterministic order.
+type Verdicts = Vec<(String, usize, String, bool)>;
+
+/// Analyze every kernel once; returns elapsed wall-clock, aggregated
+/// prover stats, and the flattened verdicts.
+fn run_suite_once(
+    kernels: &[SuiteKernel],
+    jobs: usize,
+    cache: &Option<ProofCache>,
+) -> (Duration, SolverStats, Verdicts) {
+    let mut stats = SolverStats::default();
+    let mut verdicts = Verdicts::new();
+    let start = Instant::now();
+    for k in kernels {
+        let indep: Vec<&str> = k.independents.iter().map(|s| s.as_str()).collect();
+        let dep: Vec<&str> = k.dependents.iter().map(|s| s.as_str()).collect();
+        let mut opts = FormadOptions::new(&indep, &dep);
+        opts.region.jobs = jobs;
+        opts.region.cache = cache.clone();
+        let a = Formad::new(opts).analyze(&k.program).expect("analysis");
+        stats.merge(&a.stats);
+        for (ri, region) in a.regions.iter().enumerate() {
+            let mut arrays: Vec<&String> = region.decisions.keys().collect();
+            arrays.sort();
+            for arr in arrays {
+                let shared = matches!(region.decisions[arr], Decision::Shared);
+                verdicts.push((k.name.clone(), ri, arr.clone(), shared));
+            }
+        }
+    }
+    (start.elapsed(), stats, verdicts)
+}
+
+/// Everything `BENCH_prover.json` records.
+#[derive(Debug)]
+pub struct ProverBenchResult {
+    /// Suite passes per configuration.
+    pub iters: usize,
+    /// Worker threads of the optimized configuration.
+    pub jobs: usize,
+    /// Total baseline wall-clock (seconds).
+    pub baseline_s: f64,
+    /// Total optimized wall-clock (seconds).
+    pub optimized_s: f64,
+    /// `baseline_s / optimized_s`.
+    pub speedup: f64,
+    /// Per-iteration baseline times.
+    pub baseline_iter_s: Vec<f64>,
+    /// Per-iteration optimized times.
+    pub optimized_iter_s: Vec<f64>,
+    /// Cache hits across the whole optimized run.
+    pub cache_hits: u64,
+    /// Cache misses across the whole optimized run.
+    pub cache_misses: u64,
+    /// Cache inserts across the whole optimized run.
+    pub cache_inserts: u64,
+    /// Prover queries per suite pass (identical across configurations).
+    pub queries_per_pass: u64,
+    /// True when every per-array verdict agreed between configurations.
+    pub verdicts_agree: bool,
+}
+
+/// Run the benchmark: `iters` suite passes sequential-uncached, then
+/// `iters` passes with `jobs` workers and one shared cache.
+///
+/// Panics if any per-array verdict differs between the configurations —
+/// the cache and the worker pool are pure accelerators and a disagreement
+/// would invalidate the measurement (and the tool).
+pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
+    assert!(iters > 0, "need at least one iteration");
+    let kernels = suite();
+
+    let mut baseline_iter_s = Vec::with_capacity(iters);
+    let mut baseline_verdicts = None;
+    let mut queries_per_pass = 0;
+    for _ in 0..iters {
+        let (t, stats, v) = run_suite_once(&kernels, 1, &None);
+        baseline_iter_s.push(t.as_secs_f64());
+        queries_per_pass = stats.checks;
+        baseline_verdicts = Some(v);
+    }
+
+    let shared = Some(ProofCache::new());
+    let mut optimized_iter_s = Vec::with_capacity(iters);
+    let mut optimized_verdicts = None;
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut inserts = 0;
+    for _ in 0..iters {
+        let (t, stats, v) = run_suite_once(&kernels, jobs, &shared);
+        optimized_iter_s.push(t.as_secs_f64());
+        hits += stats.cache_hits;
+        misses += stats.cache_misses;
+        inserts += stats.cache_inserts;
+        optimized_verdicts = Some(v);
+    }
+
+    let baseline_verdicts = baseline_verdicts.expect("baseline ran");
+    let optimized_verdicts = optimized_verdicts.expect("optimized ran");
+    let verdicts_agree = baseline_verdicts == optimized_verdicts;
+    assert!(
+        verdicts_agree,
+        "verdicts diverged between configurations:\n  baseline  {baseline_verdicts:?}\n  \
+         optimized {optimized_verdicts:?}"
+    );
+
+    let baseline_s: f64 = baseline_iter_s.iter().sum();
+    let optimized_s: f64 = optimized_iter_s.iter().sum();
+    ProverBenchResult {
+        iters,
+        jobs,
+        baseline_s,
+        optimized_s,
+        speedup: baseline_s / optimized_s.max(f64::MIN_POSITIVE),
+        baseline_iter_s,
+        optimized_iter_s,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_inserts: inserts,
+        queries_per_pass,
+        verdicts_agree,
+    }
+}
+
+fn json_f64_list(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Hand-rolled JSON for [`ProverBenchResult`] — a flat record, stable key
+/// order, newline-terminated.
+pub fn prover_bench_json(r: &ProverBenchResult) -> String {
+    format!(
+        "{{\n  \"bench\": \"prover_suite\",\n  \"suite\": \"table1\",\n  \
+         \"iters\": {},\n  \"jobs\": {},\n  \"baseline_s\": {:.6},\n  \
+         \"optimized_s\": {:.6},\n  \"speedup\": {:.3},\n  \
+         \"baseline_iter_s\": {},\n  \"optimized_iter_s\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"cache_inserts\": {},\n  \"queries_per_pass\": {},\n  \
+         \"verdicts_agree\": {}\n}}\n",
+        r.iters,
+        r.jobs,
+        r.baseline_s,
+        r.optimized_s,
+        r.speedup,
+        json_f64_list(&r.baseline_iter_s),
+        json_f64_list(&r.optimized_iter_s),
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_inserts,
+        r.queries_per_pass,
+        r.verdicts_agree,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_verdicts_agree() {
+        let r = prover_bench(2, 2);
+        assert!(r.verdicts_agree);
+        assert!(r.queries_per_pass > 0);
+        // The second cached pass must answer queries from the cache.
+        assert!(r.cache_hits > 0, "no cache hits across {} passes", r.iters);
+        assert!(r.baseline_s > 0.0 && r.optimized_s > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = ProverBenchResult {
+            iters: 1,
+            jobs: 4,
+            baseline_s: 1.0,
+            optimized_s: 0.25,
+            speedup: 4.0,
+            baseline_iter_s: vec![1.0],
+            optimized_iter_s: vec![0.25],
+            cache_hits: 10,
+            cache_misses: 5,
+            cache_inserts: 5,
+            queries_per_pass: 15,
+            verdicts_agree: true,
+        };
+        let j = prover_bench_json(&r);
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert!(j.contains("\"speedup\": 4.000"));
+        assert!(j.contains("\"optimized_iter_s\": [0.250000]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

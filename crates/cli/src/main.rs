@@ -18,6 +18,11 @@
 //!   --prover-timeout-ms N
 //!                      wall-clock allowance per prover query; expiry
 //!                      degrades the affected arrays to atomics
+//!   --jobs N           prover worker threads (0 or omitted = one per
+//!                      available core); reports are byte-identical for
+//!                      every value
+//!   --no-cache         disable the canonical proof cache (useful for
+//!                      benchmarking; verdicts are unaffected)
 //! ```
 //!
 //! Exit codes: 0 success (a report that keeps every safeguard is still a
@@ -56,6 +61,8 @@ struct Args {
     increment: bool,
     table1: Option<String>,
     prover_timeout: Option<Duration>,
+    jobs: usize,
+    cache: bool,
 }
 
 fn usage() -> ExitCode {
@@ -63,7 +70,7 @@ fn usage() -> ExitCode {
         "usage: formad <analyze|adjoint|versions> FILE --wrt a,b --of c,d \
          [--mode formad|serial|atomic|reduction] [--no-stride] \
          [--no-contexts] [--no-increment] [--table1 NAME] \
-         [--prover-timeout-ms N]"
+         [--prover-timeout-ms N] [--jobs N] [--no-cache]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +91,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         increment: true,
         table1: None,
         prover_timeout: None,
+        jobs: 0,
+        cache: true,
     };
     let rest: Vec<String> = argv.collect();
     let mut k = 0;
@@ -130,6 +139,18 @@ fn parse_args() -> Result<Args, ExitCode> {
                     }
                 }
             }
+            "--jobs" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match raw.parse::<usize>() {
+                    Ok(n) => args.jobs = n,
+                    Err(_) => {
+                        eprintln!("--jobs expects an integer, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--no-cache" => args.cache = false,
             "--no-stride" => args.stride = false,
             "--no-contexts" => args.contexts = false,
             "--no-increment" => args.increment = false,
@@ -149,6 +170,21 @@ fn parse_args() -> Result<Args, ExitCode> {
         return Err(usage());
     }
     Ok(args)
+}
+
+/// One stderr line of proof-cache effectiveness, printed after every
+/// analysis so benchmarking scripts can scrape it without parsing the
+/// report (which stays byte-identical across cache and jobs settings).
+fn cache_diag(a: &formad::FormadAnalysis, cache_enabled: bool) {
+    if !cache_enabled {
+        eprintln!("formad: prover cache disabled");
+        return;
+    }
+    let s = &a.stats;
+    eprintln!(
+        "formad: prover cache: {} hits / {} misses / {} inserts",
+        s.cache_hits, s.cache_misses, s.cache_inserts
+    );
 }
 
 fn render(p: &formad_ir::Program, emit: &str) -> String {
@@ -211,6 +247,10 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     opts.region.use_contexts = args.contexts;
     opts.region.use_increment_detection = args.increment;
     opts.region.prover_timeout = args.prover_timeout;
+    opts.region.jobs = args.jobs;
+    if !args.cache {
+        opts.region.cache = None;
+    }
     let tool = Formad::new(opts);
 
     match args.command.as_str() {
@@ -222,6 +262,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                     return code_for(e.kind);
                 }
             };
+            cache_diag(&a, args.cache);
             match &args.table1 {
                 Some(name) => {
                     println!("{}", formad::table1_header());
@@ -245,6 +286,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
             let adjoint = match treatment {
                 None => match tool.differentiate(primal) {
                     Ok(r) => {
+                        cache_diag(&r.analysis, args.cache);
                         eprint!("{}", formad::full_report(&primal.name, &r.analysis));
                         r.adjoint
                     }

@@ -328,6 +328,84 @@ fn prover_timeout_flag_accepted_and_validated() {
     );
 }
 
+/// Drop the wall-clock suffix from region header lines (`… N queries,
+/// 0.002s`) so reports can be compared byte-for-byte across runs.
+fn strip_times(report: &str) -> String {
+    report
+        .lines()
+        .map(|l| match l.split_once(" queries, ") {
+            Some((head, _)) => format!("{head} queries"),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn jobs_flag_keeps_reports_identical() {
+    let f = write_temp("jobs.f90", FIG2_F);
+    let base = &["analyze", "--wrt", "x", "--of", "y"];
+    let run = |extra: &[&str]| {
+        let mut argv = vec![
+            base[0],
+            f.to_str().unwrap(),
+            base[1],
+            base[2],
+            base[3],
+            base[4],
+        ];
+        argv.extend_from_slice(extra);
+        let (out, err, ok) = formad(&argv);
+        assert!(ok, "{err}");
+        strip_times(&out)
+    };
+    let sequential = run(&["--jobs", "1"]);
+    let parallel = run(&["--jobs", "4"]);
+    let auto = run(&[]);
+    assert_eq!(sequential, parallel, "reports must not depend on --jobs");
+    assert_eq!(sequential, auto);
+    assert!(sequential.contains("shared (no atomics needed)"));
+    // Garbage value is a usage error, not a panic.
+    let (_, err, ok) = formad(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--jobs",
+        "many",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--jobs expects an integer"), "{err}");
+}
+
+#[test]
+fn no_cache_flag_keeps_verdicts_and_reports_stats() {
+    let f = write_temp("nocache.f90", FIG2_F);
+    let (cached_out, cached_err, ok) =
+        formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert!(
+        cached_err.contains("prover cache:"),
+        "cache diagnostic missing: {cached_err}"
+    );
+    let (plain_out, plain_err, ok) = formad(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--no-cache",
+    ]);
+    assert!(ok);
+    assert!(plain_err.contains("prover cache disabled"), "{plain_err}");
+    // The cache is a pure accelerator: verdicts (and the whole report)
+    // are unaffected by switching it off.
+    assert_eq!(strip_times(&cached_out), strip_times(&plain_out));
+}
+
 #[test]
 fn zero_timeout_degrades_but_stays_correct() {
     // With a 0ms allowance every query times out; the analysis must still

@@ -31,6 +31,8 @@
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use formad_analysis::{
@@ -38,8 +40,8 @@ use formad_analysis::{
 };
 use formad_ir::{count_stmts, Expr, ForLoop, Program, Stmt, Ty};
 use formad_smt::{
-    CancelToken, ChaosConfig, ChaosSolver, Formula, SatResult, Solver, SolverApi, SolverBudget,
-    SolverStats, StopReason, Term,
+    CancelToken, ChaosConfig, ChaosSolver, Formula, InternedFormula, ProofCache, SatResult, Solver,
+    SolverApi, SolverBudget, SolverStats, StopReason, Term,
 };
 
 use crate::translate::{Taint, Translator};
@@ -161,6 +163,16 @@ pub struct RegionOptions {
     /// Fault injection for robustness tests: wraps the prover in a
     /// `ChaosSolver` (seed offset by region index).
     pub chaos: Option<ChaosConfig>,
+    /// Worker threads for per-array proofs: `0` = one per available core,
+    /// `1` = run in-line on the calling thread. Verdicts, provenance, and
+    /// report text are identical for every value — parallelism only
+    /// changes wall-clock time.
+    pub jobs: usize,
+    /// Shared canonical-query proof cache consulted by every prover
+    /// `check()`. Cloning `RegionOptions` shares the cache (it is a
+    /// handle), which is how verdicts are reused across regions and whole
+    /// kernel suites. `None` disables caching.
+    pub cache: Option<ProofCache>,
 }
 
 impl Default for RegionOptions {
@@ -175,8 +187,23 @@ impl Default for RegionOptions {
             prover_timeout: None,
             cancel: None,
             chaos: None,
+            jobs: 0,
+            cache: Some(ProofCache::new()),
         }
     }
+}
+
+/// Resolve a `jobs` request against the machine, never exceeding the
+/// number of tasks there are to run.
+fn effective_jobs(requested: usize, tasks: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    jobs.min(tasks).max(1)
 }
 
 /// One translated reference.
@@ -211,7 +238,15 @@ pub fn analyze_region(
 
 /// [`analyze_region`] against a caller-provided prover (the real
 /// [`Solver`] or a fault-injecting [`ChaosSolver`]).
-pub fn analyze_region_with<S: SolverApi>(
+///
+/// Phase 1 (knowledge extraction and the per-context satisfiability
+/// safeguard) runs on the calling thread against `solver`. Phase 2 forks
+/// one worker solver per candidate array (salted by candidate order, so
+/// results do not depend on thread scheduling) and fans the per-array
+/// proofs out over [`RegionOptions::jobs`] scoped threads; outcomes are
+/// merged back in candidate order, making reports byte-identical for any
+/// job count.
+pub fn analyze_region_with<S: SolverApi + Send>(
     prog: &Program,
     l: &ForLoop,
     region: usize,
@@ -231,6 +266,7 @@ pub fn analyze_region_with<S: SolverApi>(
     if let Some(token) = &opts.cancel {
         solver.set_cancel_token(token.clone());
     }
+    solver.set_cache(opts.cache.clone());
 
     let mut out = RegionAnalysis {
         region,
@@ -316,15 +352,18 @@ pub fn analyze_region_with<S: SolverApi>(
     // ------------------------------------------------------------------
     let counter = Term::sym(l.var.clone());
     let counter_p = tr.prime(&counter);
-    let mut roots: Vec<Formula> = Vec::new();
+    // Roots and facts are lowered to CNF exactly once; re-asserting one is
+    // a reference-count bump, not a clone (hot-loop `Formula::clone` is
+    // gone).
+    let mut roots: Vec<InternedFormula> = Vec::new();
     match Formula::term_ne(&counter, &counter_p, solver.table_mut()) {
-        Ok(f) => roots.push(f),
+        Ok(f) => roots.push(InternedFormula::new(f)),
         Err(e) => out.warnings.push(format!("root assertion failed: {e}")),
     }
     out.model_size += 1;
     if opts.stride_constraints {
         if let Some(fs) = stride_formulas(&tr, l, &counter, &counter_p, solver.table_mut()) {
-            roots.extend(fs);
+            roots.extend(fs.into_iter().map(InternedFormula::new));
         }
     }
 
@@ -332,7 +371,10 @@ pub fn analyze_region_with<S: SolverApi>(
     // Knowledge extraction (phase 1).
     // ------------------------------------------------------------------
     // Facts: (site context, formula). Expressions dedup'd per array.
-    let mut facts: Vec<(CtxId, Formula)> = Vec::new();
+    // `fact_keys` remembers which `(site, primed(w) ≠ e)` facts exist
+    // verbatim, so phase 2 can skip queries they contradict directly.
+    let mut facts: Vec<(CtxId, InternedFormula)> = Vec::new();
+    let mut fact_keys: HashSet<(CtxId, String)> = HashSet::new();
     let mut expr_set: HashSet<String> = HashSet::new();
     for (array, trefs) in &by_array {
         if tainted_arrays.contains_key(array) {
@@ -356,7 +398,8 @@ pub fn analyze_region_with<S: SolverApi>(
                 let wp = tr.prime_tuple(w_terms);
                 match Formula::tuple_ne(&wp, e_terms, solver.table_mut()) {
                     Ok(f) => {
-                        facts.push((site, f));
+                        fact_keys.insert((site, pair_key(w_terms, e_terms)));
+                        facts.push((site, InternedFormula::new(f)));
                         out.model_size += 1;
                     }
                     Err(e) => out
@@ -379,11 +422,11 @@ pub fn analyze_region_with<S: SolverApi>(
         let checked = catch_unwind(AssertUnwindSafe(|| {
             solver.push();
             for f in &roots {
-                solver.assert(f.clone());
+                solver.assert_interned(f);
             }
             for (site, f) in &facts {
                 if contexts.included(c, *site) {
-                    solver.assert(f.clone());
+                    solver.assert_interned(f);
                 }
             }
             let r = solver.check();
@@ -424,6 +467,10 @@ pub fn analyze_region_with<S: SolverApi>(
     candidates.sort();
     candidates.dedup();
     static EMPTY: Vec<TrRef> = Vec::new();
+    // Arrays with an immediate decision are settled in-line; the rest
+    // become proof tasks for the worker pool below.
+    let mut tasks: Vec<ProofTask<S>> = Vec::new();
+    let mut overlays: Vec<Option<ProofCache>> = Vec::new();
     for array in &candidates {
         let trefs = by_array.get(array).unwrap_or(&EMPTY);
         if prog.ty_of(array) != Some(Ty::Real) {
@@ -484,106 +531,246 @@ pub fn analyze_region_with<S: SolverApi>(
             continue;
         }
 
-        // Escalating-budget retry ladder with panic isolation: the cheap
-        // pass runs first; only `Unknown(Budget)` outcomes are re-proven
-        // with larger counters. A deadline/cancellation trip is final (a
-        // bigger budget cannot beat the clock), and a panic consumes the
-        // attempt but leaves the solver usable via `reset_to_base`.
-        let mut budget = opts.budget;
-        let mut panics_here = 0u32;
-        let mut last_failure = StopReason::Budget;
-        let mut settled: Option<(Decision, Provenance)> = None;
-        for attempt in 0..=opts.max_retries {
-            if attempt > 0 {
-                budget = SolverBudget {
-                    max_lia_calls: budget.max_lia_calls.saturating_mul(opts.escalation_factor),
-                    max_branches: budget.max_branches.saturating_mul(opts.escalation_factor),
-                    ..budget
-                };
-            }
-            solver.set_budget(budget);
-            let proof = catch_unwind(AssertUnwindSafe(|| {
-                prove_array(
-                    &mut *solver,
-                    &roots,
-                    &facts,
-                    &contexts,
-                    &tr,
-                    &q_writes,
-                    &q_all,
-                    &out.safe_write_exprs,
-                )
-            }));
-            match proof {
-                Err(_) => {
-                    solver.reset_to_base();
-                    panics_here += 1;
-                    last_failure = StopReason::Panicked;
-                }
-                Ok(ArrayProof::Safe) => {
-                    settled = Some((Decision::Shared, Provenance::Proved));
-                    break;
-                }
-                Ok(ArrayProof::Conflict {
-                    rejected,
-                    verdict,
-                    overwrite_warning,
-                }) => {
-                    out.rejected_exprs.push(rejected);
-                    if let Some(w) = overwrite_warning {
-                        out.warnings.push(w);
-                    }
-                    settled = Some((verdict, Provenance::Refuted));
-                    break;
-                }
-                Ok(ArrayProof::NormalizationFailed(msg)) => {
-                    settled = Some((Decision::Guarded(msg), Provenance::Refuted));
-                    break;
-                }
-                Ok(ArrayProof::Unknown(reason)) => {
-                    last_failure = reason;
-                    if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
-                        break;
-                    }
-                }
-            }
-        }
-        if panics_here > 0 {
-            out.recovered_panics += u64::from(panics_here);
-            out.warnings.push(format!(
-                "prover panicked {panics_here}× while analyzing adjoint of \
-                 `{array}`; recovered"
-            ));
-        }
-        let (decision, provenance) = settled.unwrap_or_else(|| match last_failure {
-            StopReason::Deadline | StopReason::Cancelled => (
-                Decision::Guarded(format!(
-                    "prover {last_failure} before a verdict; atomics kept"
-                )),
-                Provenance::TimedOut,
-            ),
-            StopReason::Panicked => (
-                Decision::Guarded("prover panicked on every attempt; atomics kept".to_string()),
-                Provenance::Recovered,
-            ),
-            StopReason::Budget => (
-                Decision::Guarded(format!(
-                    "budget exhausted after {} attempts; atomics kept",
-                    opts.max_retries + 1
-                )),
-                Provenance::BudgetExhausted,
-            ),
+        // Needs proving: fork a worker solver for the fan-out. The fork
+        // salt is the *candidate* index (not the worker id), so derived
+        // state — e.g. a `ChaosSolver`'s fault stream — depends only on
+        // which array is being proven, never on thread scheduling.
+        let salt = tasks.len() as u64;
+        let overlay = opts.cache.as_ref().map(ProofCache::overlay);
+        let mut worker = solver.fork(salt);
+        // Workers read the shared cache through a private overlay: lookups
+        // see exactly (verdicts published before this region's fan-out) ∪
+        // (the worker's own inserts), never a sibling's in-flight inserts,
+        // so hit/miss behavior is schedule-independent.
+        worker.set_cache(overlay.clone());
+        overlays.push(overlay);
+        tasks.push(ProofTask {
+            array: array.clone(),
+            q_writes,
+            q_all,
+            solver: worker,
         });
-        out.decisions.insert(array.clone(), decision);
-        out.provenance.insert(array.clone(), provenance);
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel per-array proof fan-out.
+    // ------------------------------------------------------------------
+    let safe_exprs = out.safe_write_exprs.clone();
+    let jobs = effective_jobs(opts.jobs, tasks.len());
+    let results: Vec<Mutex<Option<ArrayOutcome>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Mutex<Option<ProofTask<S>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let drain = || loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        if idx >= cells.len() {
+            break;
+        }
+        let task = cells[idx].lock().ok().and_then(|mut c| c.take());
+        let Some(mut task) = task else { continue };
+        let outcome = run_proof_task(
+            &mut task,
+            &roots,
+            &facts,
+            &fact_keys,
+            &contexts,
+            &tr,
+            &safe_exprs,
+            opts,
+        );
+        if let Ok(mut slot) = results[idx].lock() {
+            *slot = Some(outcome);
+        }
+    };
+    if jobs <= 1 {
+        drain();
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|_| drain());
+            }
+        })
+        .expect("prover worker pool");
+    }
+
+    // Publish worker cache overlays (candidate order; verdicts are unique
+    // per canonical key, so order only matters for determinism of the
+    // publication itself).
+    if let Some(base) = &opts.cache {
+        for ov in overlays.iter().flatten() {
+            base.absorb(ov);
+        }
+    }
+
+    // Merge outcomes in candidate order — reports are byte-identical to a
+    // sequential run regardless of `jobs`.
+    for slot in &results {
+        let outcome = slot
+            .lock()
+            .expect("proof worker poisoned a result slot")
+            .take()
+            .expect("every proof task produces an outcome");
+        out.decisions
+            .insert(outcome.array.clone(), outcome.decision);
+        out.provenance.insert(outcome.array, outcome.provenance);
+        if let Some(r) = outcome.rejected {
+            out.rejected_exprs.push(r);
+        }
+        out.warnings.extend(outcome.warnings);
+        out.recovered_panics += outcome.recovered_panics;
+        out.stats.merge(&outcome.stats);
     }
     solver.set_budget(opts.budget);
 
-    out.stats = solver.stats();
+    let phase1 = solver.stats();
+    out.stats.merge(&phase1);
     out.queries = out.stats.checks;
     out.time = started.elapsed();
     out
 }
+
+/// One candidate array whose adjoint conflict pairs need proving, bundled
+/// with the worker solver forked for it.
+struct ProofTask<S> {
+    array: String,
+    q_writes: Vec<(Vec<Term>, CtxId, bool)>,
+    q_all: Vec<(Vec<Term>, CtxId)>,
+    solver: S,
+}
+
+/// The decision a proof task produced, with everything the coordinator
+/// needs to merge deterministically.
+struct ArrayOutcome {
+    array: String,
+    decision: Decision,
+    provenance: Provenance,
+    rejected: Option<String>,
+    warnings: Vec<String>,
+    recovered_panics: u64,
+    stats: SolverStats,
+}
+
+/// Run the escalating-budget retry ladder for one array on its worker
+/// solver. This is the panic-isolated unit of work the fan-out schedules;
+/// the cheap pass runs first and only `Unknown(Budget)` outcomes are
+/// re-proven with larger counters. A deadline/cancellation trip is final
+/// (a bigger budget cannot beat the clock), and a panic consumes the
+/// attempt but leaves the solver usable via `reset_to_base`.
+#[allow(clippy::too_many_arguments)]
+fn run_proof_task<S: SolverApi>(
+    task: &mut ProofTask<S>,
+    roots: &[InternedFormula],
+    facts: &[(CtxId, InternedFormula)],
+    fact_keys: &HashSet<(CtxId, String)>,
+    contexts: &Contexts,
+    tr: &Translator<'_>,
+    safe_write_exprs: &[String],
+    opts: &RegionOptions,
+) -> ArrayOutcome {
+    let array = task.array.clone();
+    let solver = &mut task.solver;
+    let mut budget = opts.budget;
+    let mut panics_here = 0u32;
+    let mut last_failure = StopReason::Budget;
+    let mut settled: Option<(Decision, Provenance)> = None;
+    let mut rejected = None;
+    let mut warnings = Vec::new();
+    for attempt in 0..=opts.max_retries {
+        if attempt > 0 {
+            budget = SolverBudget {
+                max_lia_calls: budget.max_lia_calls.saturating_mul(opts.escalation_factor),
+                max_branches: budget.max_branches.saturating_mul(opts.escalation_factor),
+                ..budget
+            };
+        }
+        solver.set_budget(budget);
+        let proof = catch_unwind(AssertUnwindSafe(|| {
+            prove_array(
+                &mut *solver,
+                roots,
+                facts,
+                fact_keys,
+                contexts,
+                tr,
+                &task.q_writes,
+                &task.q_all,
+                safe_write_exprs,
+            )
+        }));
+        match proof {
+            Err(_) => {
+                solver.reset_to_base();
+                panics_here += 1;
+                last_failure = StopReason::Panicked;
+            }
+            Ok(ArrayProof::Safe) => {
+                settled = Some((Decision::Shared, Provenance::Proved));
+                break;
+            }
+            Ok(ArrayProof::Conflict {
+                rejected: r,
+                verdict,
+                overwrite_warning,
+            }) => {
+                rejected = Some(r);
+                if let Some(w) = overwrite_warning {
+                    warnings.push(w);
+                }
+                settled = Some((verdict, Provenance::Refuted));
+                break;
+            }
+            Ok(ArrayProof::NormalizationFailed(msg)) => {
+                settled = Some((Decision::Guarded(msg), Provenance::Refuted));
+                break;
+            }
+            Ok(ArrayProof::Unknown(reason)) => {
+                last_failure = reason;
+                if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
+                    break;
+                }
+            }
+        }
+    }
+    if panics_here > 0 {
+        warnings.push(format!(
+            "prover panicked {panics_here}× while analyzing adjoint of \
+             `{array}`; recovered"
+        ));
+    }
+    let (decision, provenance) = settled.unwrap_or_else(|| match last_failure {
+        StopReason::Deadline | StopReason::Cancelled => (
+            Decision::Guarded(format!(
+                "prover {last_failure} before a verdict; atomics kept"
+            )),
+            Provenance::TimedOut,
+        ),
+        StopReason::Panicked => (
+            Decision::Guarded("prover panicked on every attempt; atomics kept".to_string()),
+            Provenance::Recovered,
+        ),
+        StopReason::Budget => (
+            Decision::Guarded(format!(
+                "budget exhausted after {} attempts; atomics kept",
+                opts.max_retries + 1
+            )),
+            Provenance::BudgetExhausted,
+        ),
+    });
+    ArrayOutcome {
+        array,
+        decision,
+        provenance,
+        rejected,
+        warnings,
+        recovered_panics: u64::from(panics_here),
+        stats: solver.stats(),
+    }
+}
+
+/// Pair groups for assertion reuse: each entry couples the set of usable
+/// fact indices with the `(write, entry)` index pairs proven under it.
+type FactGroups = Vec<(Vec<usize>, Vec<(usize, usize)>)>;
 
 /// Outcome of one panic-isolated proof attempt over all conflict pairs of
 /// one adjoint array.
@@ -605,11 +792,19 @@ enum ArrayProof {
 /// Try to prove every candidate conflict pair of one array disjoint.
 /// Leaves the solver balanced (every `push` matched by a `pop`) on every
 /// non-panicking path.
+///
+/// Assertion reuse: the roots are asserted once per array under a base
+/// frame, and pairs are grouped by the *set of facts usable at their
+/// common context* so each fact group is asserted once per group. Total
+/// re-assertion work drops from O(pairs·(roots+facts)) to
+/// O(roots + groups·facts); only the one-clause equality query is
+/// asserted per pair.
 #[allow(clippy::too_many_arguments)]
 fn prove_array<S: SolverApi>(
     solver: &mut S,
-    roots: &[Formula],
-    facts: &[(CtxId, Formula)],
+    roots: &[InternedFormula],
+    facts: &[(CtxId, InternedFormula)],
+    fact_keys: &HashSet<(CtxId, String)>,
     contexts: &Contexts,
     tr: &Translator<'_>,
     q_writes: &[(Vec<Term>, CtxId, bool)],
@@ -617,28 +812,68 @@ fn prove_array<S: SolverApi>(
     safe_write_exprs: &[String],
 ) -> ArrayProof {
     let mut unknown: Option<StopReason> = None;
-    for (w_terms, w_ctx, from_overwrite) in q_writes {
-        for (e_terms, e_ctx) in q_all {
+    // Base frame: the roots hold for every pair of this array.
+    solver.push();
+    for f in roots {
+        solver.assert_interned(f);
+    }
+    // Group pairs by the set of fact indices usable at their common
+    // context. Groups keep first-encounter order, so proofs run in the
+    // same order on every machine and job count.
+    let mut group_of: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut groups: FactGroups = Vec::new();
+    for (wi, (w_terms, w_ctx, _)) in q_writes.iter().enumerate() {
+        for (ei, (e_terms, e_ctx)) in q_all.iter().enumerate() {
             let usable = contexts.usable_for(*w_ctx, *e_ctx);
-            solver.push();
-            for f in roots {
-                solver.assert(f.clone());
+            // Redundant self-pair skip: when a write tuple meets its own
+            // identical entry of `q_all` in the same context and the
+            // knowledge base contains `primed(w) ≠ e` verbatim at a usable
+            // site, the query `primed(w) = e` is UNSAT by direct
+            // contradiction with that fact — no prover call needed.
+            if w_ctx == e_ctx
+                && render_tuple(w_terms) == render_tuple(e_terms)
+                && usable
+                    .iter()
+                    .any(|site| fact_keys.contains(&(*site, pair_key(w_terms, e_terms))))
+            {
+                continue;
             }
-            for (site, f) in facts {
-                if usable.contains(site) {
-                    solver.assert(f.clone());
+            let included: Vec<usize> = facts
+                .iter()
+                .enumerate()
+                .filter(|(_, (site, _))| usable.contains(site))
+                .map(|(k, _)| k)
+                .collect();
+            match group_of.get(&included) {
+                Some(&g) => groups[g].1.push((wi, ei)),
+                None => {
+                    group_of.insert(included.clone(), groups.len());
+                    groups.push((included, vec![(wi, ei)]));
                 }
             }
+        }
+    }
+    for (included, pairs) in &groups {
+        // Group frame: this fact set is shared by every pair in the group.
+        solver.push();
+        for &k in included {
+            solver.assert_interned(&facts[k].1);
+        }
+        for &(wi, ei) in pairs {
+            let (w_terms, _, from_overwrite) = &q_writes[wi];
+            let (e_terms, _) = &q_all[ei];
             let wp = tr.prime_tuple(w_terms);
             let q = match Formula::tuple_eq(&wp, e_terms, solver.table_mut()) {
                 Ok(q) => q,
                 Err(e) => {
-                    solver.pop();
+                    solver.pop(); // group frame
+                    solver.pop(); // base frame
                     return ArrayProof::NormalizationFailed(format!(
                         "query normalization failed: {e}"
                     ));
                 }
             };
+            solver.push();
             solver.assert(q);
             let r = solver.check();
             solver.pop();
@@ -650,15 +885,25 @@ fn prove_array<S: SolverApi>(
                     unknown = unknown.or(Some(reason));
                 }
                 SatResult::Sat => {
+                    solver.pop(); // group frame
+                    solver.pop(); // base frame
                     return conflict(w_terms, e_terms, *from_overwrite, safe_write_exprs);
                 }
             }
         }
+        solver.pop(); // group frame
     }
+    solver.pop(); // base frame
     match unknown {
         Some(reason) => ArrayProof::Unknown(reason),
         None => ArrayProof::Safe,
     }
+}
+
+/// Canonical lookup key of a `primed(w) ≠ e` fact, used to recognize
+/// queries the knowledge base contradicts verbatim.
+fn pair_key(w_terms: &[Term], e_terms: &[Term]) -> String {
+    format!("{} | {}", render_tuple(w_terms), render_tuple(e_terms))
 }
 
 /// Build the `Conflict` outcome for a satisfiable pair, preferring to

@@ -28,9 +28,13 @@ fn rand_vec(seed: u64, n: usize) -> Vec<f64> {
     (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
 }
 
-/// Hostile but survivable fault rates: 20% panics, 25% unknowns.
+/// Hostile but survivable fault rates: 20% panics, 25% unknowns. The
+/// proofs run on a 4-worker pool so every degradation path is exercised
+/// under parallelism too — per-task fault-stream salting keeps the runs
+/// reproducible regardless of scheduling.
 fn chaos_options(independents: &[&str], dependents: &[&str], seed: u64) -> FormadOptions {
     let mut o = FormadOptions::new(independents, dependents);
+    o.region.jobs = 4;
     o.region.chaos = Some(ChaosConfig {
         seed,
         panic_per_mille: 200,
@@ -209,6 +213,7 @@ fn total_prover_failure_still_produces_correct_adjoint() {
     let primal = c.ir();
     let base = c.bindings(11);
     let mut opts = FormadOptions::new(StencilCase::independents(), StencilCase::dependents());
+    opts.region.jobs = 4;
     opts.region.chaos = Some(ChaosConfig {
         seed: 3,
         panic_per_mille: 1000,

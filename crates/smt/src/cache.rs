@@ -1,0 +1,563 @@
+//! Canonical-query proof caching.
+//!
+//! FormAD's analyses issue many *structurally similar* queries: the same
+//! disjointness question reappears across symmetric pairs, across arrays,
+//! across regions, across retries of the escalation ladder, and across
+//! whole benchmark suites that re-analyze the same kernels. A query is a
+//! CNF clause stack over interned atoms; two queries that differ only in a
+//! bijective renaming of free symbols and uninterpreted function names are
+//! equisatisfiable, so one prover verdict serves them all.
+//!
+//! [`canonical_query_key`] computes a deterministic renaming-invariant key
+//! for a clause stack: every literal is expanded structurally (atom ids
+//! resolved through the [`AtomTable`], so keys are comparable *across*
+//! solvers with independently grown tables), signs of `=`/`≠` literals are
+//! normalized, literals and clauses are sorted, duplicates dropped, and
+//! symbols/function names are renamed `s0, s1, …` / `f0, f1, …` in first
+//! occurrence order over the sorted form.
+//!
+//! [`ProofCache`] is a sharded concurrent map from canonical keys to
+//! *definite* verdicts. `Unknown` results are never stored and never
+//! served: an `Unknown` is a property of one run's budget/deadline, not of
+//! the query, and caching it would let one starved attempt poison every
+//! later, better-funded attempt. Cache invalidation is by construction —
+//! the key is a pure function of the complete assertion stack, so there is
+//! no aliasing between different models and nothing to invalidate.
+//!
+//! Soundness: the full canonical string is the map key (no hashing on the
+//! lookup path), so a collision cannot serve a verdict for a different
+//! query; and a served `Unsat` is backed by the derivation of the run that
+//! inserted it, which is valid for every query with the same canonical
+//! form.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::formula::{Clause, Rel};
+use crate::linexpr::{AtomKey, AtomTable, LinExpr};
+use crate::solver::SatResult;
+
+/// Number of lock shards; keys are distributed by a cheap FNV hash so
+/// concurrent workers rarely contend on the same shard.
+const SHARDS: usize = 16;
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    shards: [Mutex<HashMap<String, bool>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl CacheInner {
+    fn shard_index(key: &str) -> usize {
+        // FNV-1a over the key bytes; only shard selection, never identity.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % SHARDS as u64) as usize
+    }
+
+    fn get(&self, key: &str) -> Option<bool> {
+        self.shards[Self::shard_index(key)]
+            .lock()
+            .map_or(None, |m| m.get(key).copied())
+    }
+}
+
+/// Concurrent, sharded map from canonical query keys to definite
+/// `Sat`/`Unsat` verdicts. Cloning is cheap (shared handle); clones share
+/// one underlying map, which is how a cache is shared across arrays,
+/// regions, and whole kernel suites.
+///
+/// For deterministic parallel analysis, a cache can be layered: an
+/// [`overlay`](ProofCache::overlay) reads through to its parent but writes
+/// only to its own private map. Workers each get an overlay, so a worker's
+/// lookups observe exactly (entries published before the fan-out) ∪ (its
+/// own inserts) — never a sibling's in-flight inserts — making hit/miss
+/// behavior independent of thread scheduling. After the workers join, the
+/// coordinator [`absorb`](ProofCache::absorb)s the overlays in a fixed
+/// order to publish their verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct ProofCache {
+    inner: Arc<CacheInner>,
+    parent: Option<Arc<CacheInner>>,
+}
+
+impl ProofCache {
+    /// Create an empty cache.
+    pub fn new() -> ProofCache {
+        ProofCache::default()
+    }
+
+    /// A private write layer over this cache: lookups read this cache's
+    /// current entries (read-only), inserts stay in the overlay until
+    /// [`absorb`](ProofCache::absorb)ed. One level deep: overlaying an
+    /// overlay reads through to the overlay's own entries only.
+    pub fn overlay(&self) -> ProofCache {
+        ProofCache {
+            inner: Arc::new(CacheInner::default()),
+            parent: Some(Arc::clone(&self.inner)),
+        }
+    }
+
+    /// Publish an overlay's privately-inserted verdicts into this cache.
+    /// Idempotent in effect: a canonical key has exactly one definite
+    /// verdict, so duplicate publishes are harmless.
+    pub fn absorb(&self, overlay: &ProofCache) {
+        for (idx, shard) in overlay.inner.shards.iter().enumerate() {
+            let Ok(src) = shard.lock() else { continue };
+            if src.is_empty() {
+                continue;
+            }
+            if let Ok(mut dst) = self.inner.shards[idx].lock() {
+                for (k, v) in src.iter() {
+                    dst.insert(k.clone(), *v);
+                }
+            }
+        }
+    }
+
+    /// Look up a verdict (own entries, then the parent layer, if any).
+    /// Counts a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<SatResult> {
+        let found = self
+            .inner
+            .get(key)
+            .or_else(|| self.parent.as_ref().and_then(|p| p.get(key)));
+        match found {
+            Some(sat) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(if sat {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                })
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a verdict. `Unknown` results are rejected (returns `false`):
+    /// the cache only ever holds definite answers.
+    pub fn insert(&self, key: String, result: SatResult) -> bool {
+        let sat = match result {
+            SatResult::Sat => true,
+            SatResult::Unsat => false,
+            SatResult::Unknown(_) => return false,
+        };
+        let idx = CacheInner::shard_index(&key);
+        if let Ok(mut m) = self.inner.shards[idx].lock() {
+            m.insert(key, sat);
+        }
+        self.inner.inserts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |m| m.len()))
+            .sum()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached verdict (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.inner.shards {
+            if let Ok(mut m) = s.lock() {
+                m.clear();
+            }
+        }
+    }
+
+    /// Lifetime hit count across every clone of this cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count across every clone of this cache.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime insert count across every clone of this cache.
+    pub fn inserts(&self) -> u64 {
+        self.inner.inserts.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization.
+// ---------------------------------------------------------------------
+
+/// Structural atom representation with original names, used both as the
+/// deterministic sort key and as the tree the renamer walks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum CanonAtom {
+    Sym(String),
+    App(String, Vec<CanonLin>),
+    Mul(Box<CanonLin>, Box<CanonLin>),
+    Div(Box<CanonLin>, Box<CanonLin>),
+    Mod(Box<CanonLin>, Box<CanonLin>),
+}
+
+/// A linear expression with structurally-expanded atoms, terms sorted by
+/// atom structure (not by table-local interning order).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct CanonLin {
+    terms: Vec<(CanonAtom, i128)>,
+    constant: i128,
+}
+
+fn canon_atom(key: &AtomKey, table: &AtomTable) -> CanonAtom {
+    match key {
+        AtomKey::Sym(s) => CanonAtom::Sym(s.clone()),
+        AtomKey::App(f, args) => CanonAtom::App(
+            f.clone(),
+            args.iter().map(|a| canon_lin_raw(a, table)).collect(),
+        ),
+        AtomKey::MulOpaque(a, b) => CanonAtom::Mul(
+            Box::new(canon_lin_raw(a, table)),
+            Box::new(canon_lin_raw(b, table)),
+        ),
+        AtomKey::DivOpaque(a, b) => CanonAtom::Div(
+            Box::new(canon_lin_raw(a, table)),
+            Box::new(canon_lin_raw(b, table)),
+        ),
+        AtomKey::ModOpaque(a, b) => CanonAtom::Mod(
+            Box::new(canon_lin_raw(a, table)),
+            Box::new(canon_lin_raw(b, table)),
+        ),
+    }
+}
+
+fn canon_lin_raw(e: &LinExpr, table: &AtomTable) -> CanonLin {
+    let mut terms: Vec<(CanonAtom, i128)> = e
+        .terms
+        .iter()
+        .map(|(a, c)| (canon_atom(table.key(*a), table), *c))
+        .collect();
+    terms.sort();
+    CanonLin {
+        terms,
+        constant: e.constant,
+    }
+}
+
+/// A canonical literal: relation + sign-normalized expression. For `=` and
+/// `≠`, `e ⋈ 0` and `-e ⋈ 0` are the same constraint, so the sign is fixed
+/// by making the leading term's coefficient (or the constant, for ground
+/// literals) non-negative. `≤` is not symmetric and keeps its sign.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct CanonLit {
+    rel: u8,
+    expr: CanonLin,
+}
+
+fn canon_lit(rel: Rel, expr: &LinExpr, table: &AtomTable) -> CanonLit {
+    let mut e = canon_lin_raw(expr, table);
+    if matches!(rel, Rel::Eq | Rel::Ne) {
+        let leading = e.terms.first().map(|(_, c)| *c).unwrap_or(e.constant);
+        if leading < 0 {
+            for (_, c) in &mut e.terms {
+                *c = -*c;
+            }
+            e.constant = -e.constant;
+        }
+    }
+    CanonLit {
+        rel: match rel {
+            Rel::Eq => 0,
+            Rel::Ne => 1,
+            Rel::Le => 2,
+        },
+        expr: e,
+    }
+}
+
+/// Renamer assigning dense names to symbols and function names in first
+/// occurrence order over the canonical (sorted) structure.
+#[derive(Default)]
+struct Namer {
+    syms: HashMap<String, usize>,
+    fns: HashMap<String, usize>,
+}
+
+impl Namer {
+    fn sym(&mut self, name: &str) -> usize {
+        let next = self.syms.len();
+        *self.syms.entry(name.to_string()).or_insert(next)
+    }
+    fn func(&mut self, name: &str) -> usize {
+        let next = self.fns.len();
+        *self.fns.entry(name.to_string()).or_insert(next)
+    }
+}
+
+fn emit_atom(a: &CanonAtom, n: &mut Namer, out: &mut String) {
+    match a {
+        CanonAtom::Sym(s) => {
+            out.push('s');
+            out.push_str(&n.sym(s).to_string());
+        }
+        CanonAtom::App(f, args) => {
+            out.push('f');
+            out.push_str(&n.func(f).to_string());
+            out.push('(');
+            for (k, arg) in args.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                emit_lin(arg, n, out);
+            }
+            out.push(')');
+        }
+        CanonAtom::Mul(a, b) => emit_binop('*', a, b, n, out),
+        CanonAtom::Div(a, b) => emit_binop('/', a, b, n, out),
+        CanonAtom::Mod(a, b) => emit_binop('%', a, b, n, out),
+    }
+}
+
+fn emit_binop(op: char, a: &CanonLin, b: &CanonLin, n: &mut Namer, out: &mut String) {
+    out.push(op);
+    out.push('(');
+    emit_lin(a, n, out);
+    out.push(',');
+    emit_lin(b, n, out);
+    out.push(')');
+}
+
+fn emit_lin(e: &CanonLin, n: &mut Namer, out: &mut String) {
+    for (k, (atom, coeff)) in e.terms.iter().enumerate() {
+        if k > 0 {
+            out.push('+');
+        }
+        out.push_str(&coeff.to_string());
+        out.push('*');
+        emit_atom(atom, n, out);
+    }
+    if e.terms.is_empty() || e.constant != 0 {
+        out.push('+');
+        out.push_str(&e.constant.to_string());
+    }
+}
+
+/// Compute the canonical, renaming-invariant key of a clause stack.
+///
+/// The key is a pure function of the clause *set* (order- and
+/// duplicate-insensitive) modulo bijective renaming of symbols and
+/// function names. Two stacks with the same key are equisatisfiable.
+pub fn canonical_query_key<'a>(
+    clauses: impl Iterator<Item = &'a Clause>,
+    table: &AtomTable,
+) -> String {
+    // Canonical structural form with original names.
+    let mut cs: Vec<Vec<CanonLit>> = clauses
+        .map(|c| {
+            let mut lits: Vec<CanonLit> = c
+                .lits
+                .iter()
+                .map(|l| canon_lit(l.rel, &l.expr, table))
+                .collect();
+            lits.sort();
+            lits.dedup();
+            lits
+        })
+        .collect();
+    cs.sort();
+    cs.dedup();
+    // Rename in first-occurrence order over the sorted form and emit.
+    let mut n = Namer::default();
+    let mut out = String::new();
+    for (k, clause) in cs.iter().enumerate() {
+        if k > 0 {
+            out.push(';');
+        }
+        for (j, lit) in clause.iter().enumerate() {
+            if j > 0 {
+                out.push('|');
+            }
+            out.push(match lit.rel {
+                0 => '=',
+                1 => '!',
+                _ => '<',
+            });
+            emit_lin(&lit.expr, &mut n, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::StopReason;
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    fn cnf_of(f: Formula) -> Vec<Clause> {
+        f.to_cnf()
+    }
+
+    fn key_of(clauses: &[Clause], table: &AtomTable) -> String {
+        canonical_query_key(clauses.iter(), table)
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        // i ≠ i' ∧ c(i) = c(i')  keyed identically under j/j'/d renaming.
+        let mut t1 = AtomTable::new();
+        let mut cs1 = cnf_of(Formula::term_ne(&Term::sym("i"), &Term::sym("i'"), &mut t1).unwrap());
+        cs1.extend(cnf_of(
+            Formula::term_eq(
+                &Term::app("c", vec![Term::sym("i")]),
+                &Term::app("c", vec![Term::sym("i'")]),
+                &mut t1,
+            )
+            .unwrap(),
+        ));
+
+        let mut t2 = AtomTable::new();
+        // Intern an unrelated symbol first so the raw AtomIds differ too.
+        t2.sym("noise");
+        let mut cs2 = cnf_of(Formula::term_ne(&Term::sym("j"), &Term::sym("j'"), &mut t2).unwrap());
+        cs2.extend(cnf_of(
+            Formula::term_eq(
+                &Term::app("d", vec![Term::sym("j")]),
+                &Term::app("d", vec![Term::sym("j'")]),
+                &mut t2,
+            )
+            .unwrap(),
+        ));
+
+        assert_eq!(key_of(&cs1, &t1), key_of(&cs2, &t2));
+    }
+
+    #[test]
+    fn distinct_queries_have_distinct_keys() {
+        let mut t = AtomTable::new();
+        let eq = cnf_of(Formula::term_eq(&Term::sym("a"), &Term::sym("b"), &mut t).unwrap());
+        let ne = cnf_of(Formula::term_ne(&Term::sym("a"), &Term::sym("b"), &mut t).unwrap());
+        assert_ne!(key_of(&eq, &t), key_of(&ne, &t));
+        // Different offset → different key.
+        let shifted = cnf_of(
+            Formula::term_eq(&Term::sym("a"), &(Term::sym("b") + Term::int(1)), &mut t).unwrap(),
+        );
+        assert_ne!(key_of(&eq, &t), key_of(&shifted, &t));
+    }
+
+    #[test]
+    fn eq_sign_normalization() {
+        // a = b normalizes to a - b = 0; b = a to b - a = 0. Same key.
+        let mut t = AtomTable::new();
+        let ab = cnf_of(Formula::term_eq(&Term::sym("a"), &Term::sym("b"), &mut t).unwrap());
+        let ba = cnf_of(Formula::term_eq(&Term::sym("b"), &Term::sym("a"), &mut t).unwrap());
+        assert_eq!(key_of(&ab, &t), key_of(&ba, &t));
+    }
+
+    #[test]
+    fn le_is_not_sign_normalized() {
+        // a ≤ b and b ≤ a are different constraints.
+        let mut t = AtomTable::new();
+        let ab = cnf_of(Formula::Lit(crate::formula::Literal::le(
+            crate::linexpr::normalize(&Term::sym("a"), &mut t).unwrap(),
+            crate::linexpr::normalize(&Term::sym("b"), &mut t).unwrap(),
+        )));
+        let ba = cnf_of(Formula::Lit(crate::formula::Literal::le(
+            crate::linexpr::normalize(&Term::sym("b"), &mut t).unwrap(),
+            crate::linexpr::normalize(&Term::sym("a"), &mut t).unwrap(),
+        )));
+        assert_ne!(key_of(&ab, &t), key_of(&ba, &t));
+    }
+
+    #[test]
+    fn clause_order_and_duplicates_are_irrelevant() {
+        let mut t = AtomTable::new();
+        let f1 = cnf_of(Formula::term_ne(&Term::sym("x"), &Term::sym("y"), &mut t).unwrap());
+        let f2 = cnf_of(Formula::term_eq(&Term::sym("z"), &Term::int(0), &mut t).unwrap());
+        let mut ab: Vec<Clause> = f1.iter().chain(&f2).cloned().collect();
+        let ba: Vec<Clause> = f2.iter().chain(&f1).cloned().collect();
+        assert_eq!(key_of(&ab, &t), key_of(&ba, &t));
+        // Duplicating a clause does not change the key (set semantics).
+        ab.extend(f1.clone());
+        assert_eq!(key_of(&ab, &t), key_of(&ba, &t));
+    }
+
+    #[test]
+    fn cache_round_trip_and_counters() {
+        let c = ProofCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.lookup("k1"), None);
+        assert_eq!(c.misses(), 1);
+        assert!(c.insert("k1".into(), SatResult::Unsat));
+        assert!(c.insert("k2".into(), SatResult::Sat));
+        assert_eq!(c.inserts(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup("k1"), Some(SatResult::Unsat));
+        assert_eq!(c.lookup("k2"), Some(SatResult::Sat));
+        assert_eq!(c.hits(), 2);
+        // Clones share the same map and counters.
+        let c2 = c.clone();
+        assert_eq!(c2.lookup("k1"), Some(SatResult::Unsat));
+        assert_eq!(c.hits(), 3);
+        c2.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overlay_reads_parent_but_writes_privately() {
+        let base = ProofCache::new();
+        base.insert("shared".into(), SatResult::Unsat);
+        let ov1 = base.overlay();
+        let ov2 = base.overlay();
+        // Parent entries are visible through the overlay.
+        assert_eq!(ov1.lookup("shared"), Some(SatResult::Unsat));
+        // Overlay inserts are invisible to the parent and to siblings —
+        // this is what makes parallel workers schedule-independent.
+        ov1.insert("private".into(), SatResult::Sat);
+        assert_eq!(ov1.lookup("private"), Some(SatResult::Sat));
+        assert_eq!(base.lookup("private"), None);
+        assert_eq!(ov2.lookup("private"), None);
+        // Absorb publishes them.
+        base.absorb(&ov1);
+        assert_eq!(base.lookup("private"), Some(SatResult::Sat));
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn unknown_is_never_stored() {
+        let c = ProofCache::new();
+        assert!(!c.insert("k".into(), SatResult::Unknown(StopReason::Budget)));
+        assert!(!c.insert("k".into(), SatResult::Unknown(StopReason::Deadline)));
+        assert!(c.is_empty());
+        assert_eq!(c.inserts(), 0);
+        assert_eq!(c.lookup("k"), None);
+    }
+
+    #[test]
+    fn opaque_atoms_key_structurally() {
+        // a*b interns as an opaque atom; its structure must appear in the
+        // key so x = a*b and x = a+b differ.
+        let mut t = AtomTable::new();
+        let mul = cnf_of(
+            Formula::term_eq(&Term::sym("x"), &(Term::sym("a") * Term::sym("b")), &mut t).unwrap(),
+        );
+        let add = cnf_of(
+            Formula::term_eq(&Term::sym("x"), &(Term::sym("a") + Term::sym("b")), &mut t).unwrap(),
+        );
+        assert_ne!(key_of(&mul, &t), key_of(&add, &t));
+    }
+}

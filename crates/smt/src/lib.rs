@@ -42,6 +42,7 @@
 //! ```
 
 pub mod brute;
+pub mod cache;
 pub mod chaos;
 pub mod ctrl;
 pub mod fm;
@@ -50,10 +51,11 @@ pub mod linexpr;
 pub mod solver;
 pub mod term;
 
+pub use cache::{canonical_query_key, ProofCache};
 pub use chaos::{ChaosConfig, ChaosCounters, ChaosSolver};
 pub use ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
 pub use fm::{feasible, feasible_paced, Feasibility, FmBudget};
 pub use formula::{Clause, Formula, Literal, Rel};
 pub use linexpr::{normalize, AtomId, AtomKey, AtomTable, LinExpr, NormalizeError};
-pub use solver::{SatResult, Solver, SolverApi, SolverBudget, SolverStats};
+pub use solver::{InternedFormula, SatResult, Solver, SolverApi, SolverBudget, SolverStats};
 pub use term::Term;

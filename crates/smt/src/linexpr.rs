@@ -31,7 +31,7 @@ pub enum AtomKey {
 }
 
 /// Intern table mapping atom keys to dense ids.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AtomTable {
     keys: Vec<AtomKey>,
     map: HashMap<AtomKey, AtomId>,

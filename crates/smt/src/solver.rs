@@ -3,8 +3,10 @@
 //! paper's pipeline (§5.5, §6).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::cache::{canonical_query_key, ProofCache};
 use crate::ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
 use crate::fm::{feasible_paced, Feasibility, FmBudget};
 use crate::formula::{Clause, Formula, Literal, Rel};
@@ -56,6 +58,12 @@ pub struct SolverStats {
     /// `Unknown`s attributable to the wall-clock deadline or an explicit
     /// cancellation (as opposed to work-counter budgets).
     pub interrupts: u64,
+    /// `check()` calls answered from the canonical proof cache.
+    pub cache_hits: u64,
+    /// `check()` calls that consulted the cache and missed.
+    pub cache_misses: u64,
+    /// Definite verdicts this solver stored into the cache.
+    pub cache_inserts: u64,
 }
 
 impl SolverStats {
@@ -69,6 +77,9 @@ impl SolverStats {
         self.branches = self.branches.saturating_add(other.branches);
         self.unknowns = self.unknowns.saturating_add(other.unknowns);
         self.interrupts = self.interrupts.saturating_add(other.interrupts);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.cache_inserts = self.cache_inserts.saturating_add(other.cache_inserts);
     }
 }
 
@@ -93,17 +104,58 @@ impl Default for SolverBudget {
     }
 }
 
+/// A formula lowered to CNF once, shareable across assertion sites.
+///
+/// `prove_array` used to `Formula::clone()` every root and fact formula
+/// for every pair and re-run `to_cnf` inside `assert`; an
+/// `InternedFormula` pays the CNF conversion once and is asserted by
+/// reference-count bump afterwards.
+#[derive(Debug, Clone)]
+pub struct InternedFormula {
+    clauses: Arc<Vec<Clause>>,
+}
+
+impl InternedFormula {
+    /// Lower a formula to CNF and freeze it.
+    pub fn new(f: Formula) -> InternedFormula {
+        InternedFormula {
+            clauses: Arc::new(f.to_cnf()),
+        }
+    }
+
+    /// The frozen clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of CNF clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+impl From<Formula> for InternedFormula {
+    fn from(f: Formula) -> InternedFormula {
+        InternedFormula::new(f)
+    }
+}
+
 /// An incremental SMT-style solver for quantifier-free linear integer
 /// arithmetic over free atoms (symbols and opaque applications).
 ///
 /// Supports `push`/`pop` scopes exactly like the Z3 API used in the paper,
 /// so the knowledge-exploitation procedure (`testVar`) can temporarily add
 /// a candidate-conflict equality and retract it.
-#[derive(Debug, Default)]
+///
+/// The assertion stack is a stack of shared *chunks* (one per `assert`),
+/// so asserting an [`InternedFormula`] is a reference-count bump instead
+/// of a clause copy, and [`Solver::fork`] can snapshot the whole stack in
+/// O(chunks).
+#[derive(Debug, Clone, Default)]
 pub struct Solver {
     /// Atom interner shared by all assertions.
     pub table: AtomTable,
-    clauses: Vec<Clause>,
+    chunks: Vec<Arc<Vec<Clause>>>,
     frames: Vec<usize>,
     /// Statistics accumulated over the solver's lifetime.
     pub stats: SolverStats,
@@ -113,20 +165,14 @@ pub struct Solver {
     /// Per-`check()` wall-clock allowance, combined with the absolute
     /// deadline at each call (the tighter bound wins).
     timeout: Option<Duration>,
+    /// Shared canonical-query verdict cache, if attached.
+    cache: Option<ProofCache>,
 }
 
 impl Solver {
     /// Create a solver with default budgets.
     pub fn new() -> Solver {
-        Solver {
-            table: AtomTable::new(),
-            clauses: Vec::new(),
-            frames: Vec::new(),
-            stats: SolverStats::default(),
-            budget: SolverBudget::default(),
-            interrupt: Interrupt::none(),
-            timeout: None,
-        }
+        Solver::default()
     }
 
     /// Create a solver with a custom budget.
@@ -168,37 +214,77 @@ impl Solver {
     /// in-flight query may have left unbalanced `push`es behind.
     pub fn reset_to_base(&mut self) {
         while let Some(mark) = self.frames.pop() {
-            self.clauses.truncate(mark);
+            self.chunks.truncate(mark);
         }
     }
 
     /// Number of asserted clauses currently on the stack.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// Push a backtracking point.
     pub fn push(&mut self) {
-        self.frames.push(self.clauses.len());
+        self.frames.push(self.chunks.len());
     }
 
     /// Pop to the previous backtracking point.
     pub fn pop(&mut self) {
         let mark = self.frames.pop().expect("pop without matching push");
-        self.clauses.truncate(mark);
+        self.chunks.truncate(mark);
     }
 
     /// Assert a formula (converted to CNF clauses).
     pub fn assert(&mut self, f: Formula) {
-        let clauses = f.to_cnf();
+        self.assert_interned(&InternedFormula::new(f));
+    }
+
+    /// Assert a pre-lowered formula by sharing its clause chunk — no
+    /// clause copies, no repeated CNF conversion.
+    pub fn assert_interned(&mut self, f: &InternedFormula) {
         self.stats.assertions_added += 1;
-        self.clauses.extend(clauses);
+        self.chunks.push(Arc::clone(&f.clauses));
+    }
+
+    /// Attach (or detach, with `None`) a shared proof cache consulted by
+    /// every later `check()`.
+    pub fn set_cache(&mut self, cache: Option<ProofCache>) {
+        self.cache = cache;
+    }
+
+    /// The attached proof cache, if any.
+    pub fn cache(&self) -> Option<&ProofCache> {
+        self.cache.as_ref()
+    }
+
+    /// Snapshot this solver into an independent worker solver: same
+    /// assertion stack (shared chunks), table, budget, interrupt wiring,
+    /// and cache, but fresh statistics. `_salt` is unused here; fault-
+    /// injecting wrappers use it to derive per-fork RNG seeds.
+    pub fn fork(&self, _salt: u64) -> Solver {
+        let mut s = self.clone();
+        s.stats = SolverStats::default();
+        s
     }
 
     /// Check satisfiability of all assertions on the stack, respecting
     /// the work budget, the wall-clock deadline, and the cancel token.
     pub fn check(&mut self) -> SatResult {
         self.stats.checks = self.stats.checks.saturating_add(1);
+        // Canonical-cache fast path: a definite verdict cached for any
+        // equisatisfiable assertion stack short-circuits the search.
+        // `Unknown` is never served from (or stored into) the cache.
+        let keyed = self.cache.clone().map(|c| {
+            let key = canonical_query_key(self.chunks.iter().flat_map(|ch| ch.iter()), &self.table);
+            (key, c)
+        });
+        if let Some((key, cache)) = &keyed {
+            if let Some(hit) = cache.lookup(key) {
+                self.stats.cache_hits = self.stats.cache_hits.saturating_add(1);
+                return hit;
+            }
+            self.stats.cache_misses = self.stats.cache_misses.saturating_add(1);
+        }
         // Effective interrupt: absolute deadline ∧ per-check timeout.
         let mut interrupt = self.interrupt.clone();
         if let Some(t) = self.timeout {
@@ -212,7 +298,11 @@ impl Solver {
             table: &self.table,
             gov,
         };
-        let clauses: Vec<Clause> = self.clauses.clone();
+        let clauses: Vec<Clause> = self
+            .chunks
+            .iter()
+            .flat_map(|ch| ch.iter().cloned())
+            .collect();
         let result = search(&Committed::default(), &clauses, &mut ctx);
         self.stats.lia_calls = self.stats.lia_calls.saturating_add(ctx.lia_calls);
         self.stats.branches = self.stats.branches.saturating_add(ctx.branches);
@@ -220,6 +310,11 @@ impl Solver {
             self.stats.unknowns = self.stats.unknowns.saturating_add(1);
             if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
                 self.stats.interrupts = self.stats.interrupts.saturating_add(1);
+            }
+        }
+        if let Some((key, cache)) = keyed {
+            if cache.insert(key, result) {
+                self.stats.cache_inserts = self.stats.cache_inserts.saturating_add(1);
             }
         }
         result
@@ -264,6 +359,18 @@ pub trait SolverApi {
     fn set_cancel_token(&mut self, token: CancelToken);
     /// Recover after a caught panic: drop all open frames.
     fn reset_to_base(&mut self);
+    /// Assert a pre-lowered formula without re-running CNF conversion or
+    /// copying clauses.
+    fn assert_interned(&mut self, f: &InternedFormula);
+    /// Attach (or detach, with `None`) a shared canonical proof cache.
+    fn set_cache(&mut self, cache: Option<ProofCache>);
+    /// Snapshot into an independent worker solver: same assertions,
+    /// budget, interrupt wiring, and cache, fresh statistics. `salt`
+    /// deterministically varies derived per-fork state (fault-injection
+    /// wrappers use it to reseed their RNG).
+    fn fork(&self, salt: u64) -> Self
+    where
+        Self: Sized;
 
     /// `push(); assert(f); check(); pop();` in one call.
     fn check_with(&mut self, f: Formula) -> SatResult {
@@ -311,6 +418,15 @@ impl SolverApi for Solver {
     }
     fn reset_to_base(&mut self) {
         Solver::reset_to_base(self);
+    }
+    fn assert_interned(&mut self, f: &InternedFormula) {
+        Solver::assert_interned(self, f);
+    }
+    fn set_cache(&mut self, cache: Option<ProofCache>) {
+        Solver::set_cache(self, cache);
+    }
+    fn fork(&self, salt: u64) -> Solver {
+        Solver::fork(self, salt)
     }
 }
 
@@ -824,5 +940,123 @@ mod tests {
         let f = Formula::term_eq(&Term::int(1), &Term::int(2), &mut s.table).unwrap();
         s.assert(f);
         assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn interned_assert_matches_plain_assert() {
+        let mut a = Solver::new();
+        let mut b = Solver::new();
+        let fa = Formula::term_ne(&sym("x"), &sym("y"), &mut a.table).unwrap();
+        let fb = Formula::term_ne(&sym("x"), &sym("y"), &mut b.table).unwrap();
+        a.assert(fa);
+        let interned = InternedFormula::new(fb);
+        b.assert_interned(&interned);
+        b.assert_interned(&interned); // shared chunk, second rc bump
+        assert_eq!(a.num_clauses(), 1);
+        assert_eq!(b.num_clauses(), 2);
+        assert_eq!(b.stats.assertions_added, 2);
+        assert_eq!(a.check(), b.check());
+        // Interned asserts pop cleanly like plain ones.
+        b.push();
+        b.assert_interned(&interned);
+        assert_eq!(b.num_clauses(), 3);
+        b.pop();
+        assert_eq!(b.num_clauses(), 2);
+    }
+
+    #[test]
+    fn fork_snapshots_assertions_with_fresh_stats() {
+        let mut s = Solver::new();
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        s.check();
+        let mut w = s.fork(3);
+        assert_eq!(w.stats, SolverStats::default());
+        assert_eq!(w.num_clauses(), 1);
+        assert_eq!(w.check(), SatResult::Sat);
+        // Forks are independent: asserting in the fork leaves the base alone.
+        let g = Formula::term_eq(&sym("x"), &sym("y"), &mut w.table).unwrap();
+        w.assert(g);
+        assert_eq!(w.check(), SatResult::Unsat);
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn cache_serves_second_check() {
+        let cache = ProofCache::new();
+        let mut s = Solver::new();
+        s.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.cache_misses, 1);
+        assert_eq!(s.stats.cache_inserts, 1);
+        let lia_after_first = s.stats.lia_calls;
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.cache_hits, 1);
+        assert_eq!(s.stats.lia_calls, lia_after_first, "hit skips the search");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_is_shared_across_solvers_modulo_renaming() {
+        let cache = ProofCache::new();
+        let mut a = Solver::new();
+        a.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("i"), &sym("i'"), &mut a.table).unwrap();
+        a.assert(f);
+        assert_eq!(a.check(), SatResult::Sat);
+        // A different solver with a renamed but isomorphic stack hits.
+        let mut b = Solver::new();
+        b.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("j"), &sym("j'"), &mut b.table).unwrap();
+        b.assert(f);
+        assert_eq!(b.check(), SatResult::Sat);
+        assert_eq!(b.stats.cache_hits, 1);
+        assert_eq!(b.stats.lia_calls, 0);
+    }
+
+    #[test]
+    fn cached_verdicts_respect_push_pop() {
+        let cache = ProofCache::new();
+        let mut s = Solver::new();
+        s.set_cache(Some(cache));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        s.push();
+        let g = Formula::term_eq(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(g);
+        assert_eq!(s.check(), SatResult::Unsat);
+        s.pop();
+        // Back to the base stack: the cached Sat must be served, not the
+        // Unsat of the extended stack.
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn unknown_results_are_not_cached() {
+        let cache = ProofCache::new();
+        let mut s = Solver::with_budget(SolverBudget {
+            max_lia_calls: 0, // every check exhausts immediately
+            max_branches: 100,
+            fm: crate::fm::FmBudget::default(),
+        });
+        s.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert!(s.check().is_unknown());
+        assert_eq!(s.stats.cache_inserts, 0);
+        assert!(cache.is_empty());
+        // A later well-funded solver gets a real verdict, not a stale
+        // Unknown.
+        let mut s2 = Solver::new();
+        s2.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s2.table).unwrap();
+        s2.assert(f);
+        assert_eq!(s2.check(), SatResult::Sat);
+        assert_eq!(cache.inserts(), 1);
     }
 }
