@@ -10,7 +10,10 @@
 //! repro bench-prover [--iters K] [--jobs N] [--out PATH]
 //!                         prover throughput: the Table-1 suite analyzed
 //!                         sequential-uncached vs parallel+cached; JSON
-//!                         written to PATH (default BENCH_prover.json)
+//!                         written to PATH (default BENCH_prover.json),
+//!                         plus a traced per-phase timing attribution to
+//!                         PATH with a `_phases` suffix
+//!                         (default BENCH_prover_phases.json)
 //! repro all [outdir]      everything; CSVs written to outdir (default
 //!                         repro_out/)
 //! repro --scale big ...   closer-to-paper problem sizes (slower)
@@ -181,6 +184,19 @@ fn bench_prover(rest: &[String]) {
         "bench-prover: {iters}×table1 suite, baseline {:.3}s vs optimized {:.3}s \
          (jobs={jobs}, cache {} hits / {} misses) → speedup {:.2}×; wrote {out}",
         r.baseline_s, r.optimized_s, r.cache_hits, r.cache_misses, r.speedup
+    );
+    // One traced pass attributes where the time goes per phase; written
+    // next to the main record so regressions can be localized.
+    let phases_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_phases.json"),
+        None => format!("{out}.phases.json"),
+    };
+    let p = formad_bench::prover_phases(jobs);
+    fs::write(&phases_out, formad_bench::prover_phases_json(&p)).expect("write phase output");
+    eprintln!(
+        "bench-prover: traced pass {:.3}s, query time {:.3}s over {} queries \
+         ({} hits / {} misses); wrote {phases_out}",
+        p.wall_s, p.query_s, p.queries, p.query_hits, p.query_misses
     );
 }
 

@@ -16,5 +16,8 @@ pub use experiments::{
     gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData, Table1Row,
     PAPER_THREADS,
 };
-pub use prover_bench::{prover_bench, prover_bench_json, ProverBenchResult};
+pub use prover_bench::{
+    prover_bench, prover_bench_json, prover_phases, prover_phases_json, PhaseAttribution,
+    ProverBenchResult, ProverPhasesResult,
+};
 pub use versions::{adjoint_bindings, ProgramVersions};

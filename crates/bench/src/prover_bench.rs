@@ -17,9 +17,10 @@
 //! Results serialize to JSON by hand (`BENCH_prover.json` at the repo
 //! root) — the workspace takes no serde dependency for one flat record.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use formad::{Decision, Formad, FormadOptions};
+use formad::{CacheAttr, Decision, Formad, FormadOptions, TraceEvent, TraceSink};
 use formad_ir::Program;
 use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
 use formad_smt::{ProofCache, SolverStats};
@@ -208,6 +209,158 @@ pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Per-phase timing attribution (from the structured trace).
+// ---------------------------------------------------------------------
+
+/// Wall-clock total of one named phase across a traced suite pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAttribution {
+    /// Phase name: pipeline phases keep their name (`validate`,
+    /// `activity`, `ad`), region-level phases get a `region-` prefix
+    /// (`region-extract`, `region-validate`, `region-prove`).
+    pub phase: String,
+    /// Total wall-clock attributed (seconds).
+    pub total_s: f64,
+    /// Phase events aggregated.
+    pub events: u64,
+}
+
+/// Where a traced suite pass spent its time, split by pipeline phase and
+/// — inside the proof fan-out — by cache attribution. `query_*` times
+/// overlap `region-prove` (queries run inside that phase); phase totals
+/// across regions can exceed wall-clock when `jobs > 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProverPhasesResult {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock of the traced pass (seconds).
+    pub wall_s: f64,
+    /// Per-phase totals, sorted by phase name.
+    pub phases: Vec<PhaseAttribution>,
+    /// Total prover-query time (seconds) and count.
+    pub query_s: f64,
+    pub queries: u64,
+    /// Query time answered from the canonical proof cache.
+    pub query_hit_s: f64,
+    pub query_hits: u64,
+    /// Query time solved from scratch (cache miss).
+    pub query_miss_s: f64,
+    pub query_misses: u64,
+    /// Linear-feasibility core calls across all queries.
+    pub lia_calls: u64,
+    /// Branch nodes explored across all queries.
+    pub branches: u64,
+}
+
+/// Analyze the suite once with tracing on (shared cache, `jobs` workers)
+/// and aggregate where the time went from the trace's perf data.
+pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
+    let kernels = suite();
+    let cache = Some(ProofCache::new());
+    let mut phases: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    let mut r = ProverPhasesResult {
+        jobs,
+        wall_s: 0.0,
+        phases: Vec::new(),
+        query_s: 0.0,
+        queries: 0,
+        query_hit_s: 0.0,
+        query_hits: 0,
+        query_miss_s: 0.0,
+        query_misses: 0,
+        lia_calls: 0,
+        branches: 0,
+    };
+    let start = Instant::now();
+    for k in kernels {
+        let indep: Vec<&str> = k.independents.iter().map(|s| s.as_str()).collect();
+        let dep: Vec<&str> = k.dependents.iter().map(|s| s.as_str()).collect();
+        let sink = TraceSink::new();
+        let mut opts = FormadOptions::new(&indep, &dep);
+        opts.region.jobs = jobs;
+        opts.region.cache = cache.clone();
+        opts.region.trace = Some(sink.clone());
+        Formad::new(opts).analyze(&k.program).expect("analysis");
+        for e in sink.snapshot() {
+            match e {
+                TraceEvent::Phase { id, dur_us } => {
+                    // `phase/ad` → `ad`; `r3/phase/prove` → `region-prove`.
+                    let name = match id.split_once("/phase/") {
+                        Some((_, name)) => format!("region-{name}"),
+                        None => id.trim_start_matches("phase/").to_string(),
+                    };
+                    let slot = phases.entry(name).or_insert((0.0, 0));
+                    slot.0 += dur_us as f64 / 1e6;
+                    slot.1 += 1;
+                }
+                TraceEvent::Query { perf, .. } => {
+                    let s = perf.dur_us as f64 / 1e6;
+                    r.query_s += s;
+                    r.queries += 1;
+                    r.lia_calls += perf.lia_calls;
+                    r.branches += perf.branches;
+                    match perf.cache {
+                        CacheAttr::Hit => {
+                            r.query_hit_s += s;
+                            r.query_hits += 1;
+                        }
+                        CacheAttr::Miss => {
+                            r.query_miss_s += s;
+                            r.query_misses += 1;
+                        }
+                        CacheAttr::Off => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    r.wall_s = start.elapsed().as_secs_f64();
+    r.phases = phases
+        .into_iter()
+        .map(|(phase, (total_s, events))| PhaseAttribution {
+            phase,
+            total_s,
+            events,
+        })
+        .collect();
+    r
+}
+
+/// Hand-rolled JSON for [`ProverPhasesResult`] (`BENCH_prover_phases.json`).
+pub fn prover_phases_json(r: &ProverPhasesResult) -> String {
+    let phases: Vec<String> = r
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"phase\": \"{}\", \"total_s\": {:.6}, \"events\": {}}}",
+                p.phase, p.total_s, p.events
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"prover_phases\",\n  \"suite\": \"table1\",\n  \
+         \"jobs\": {},\n  \"wall_s\": {:.6},\n  \"phases\": [\n{}\n  ],\n  \
+         \"query_s\": {:.6},\n  \"queries\": {},\n  \
+         \"query_hit_s\": {:.6},\n  \"query_hits\": {},\n  \
+         \"query_miss_s\": {:.6},\n  \"query_misses\": {},\n  \
+         \"lia_calls\": {},\n  \"branches\": {}\n}}\n",
+        r.jobs,
+        r.wall_s,
+        phases.join(",\n"),
+        r.query_s,
+        r.queries,
+        r.query_hit_s,
+        r.query_hits,
+        r.query_miss_s,
+        r.query_misses,
+        r.lia_calls,
+        r.branches,
+    )
+}
+
 fn json_f64_list(xs: &[f64]) -> String {
     let items: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
     format!("[{}]", items.join(", "))
@@ -251,6 +404,25 @@ mod tests {
         // The second cached pass must answer queries from the cache.
         assert!(r.cache_hits > 0, "no cache hits across {} passes", r.iters);
         assert!(r.baseline_s > 0.0 && r.optimized_s > 0.0);
+    }
+
+    #[test]
+    fn phases_attribute_time_and_queries() {
+        let r = prover_phases(2);
+        assert!(r.wall_s > 0.0);
+        assert!(r.queries > 0);
+        // The suite must exercise the whole ladder of phases.
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
+        for want in ["activity", "region-extract", "region-prove"] {
+            assert!(names.contains(&want), "missing phase `{want}` in {names:?}");
+        }
+        // Misses (first sighting of each canonical query) must be there;
+        // their solved-from-scratch time dominates hit time per query.
+        assert!(r.query_misses > 0);
+        let j = prover_phases_json(&r);
+        assert!(j.contains("\"bench\": \"prover_phases\""));
+        assert!(j.contains("\"phase\": \"region-prove\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

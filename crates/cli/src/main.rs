@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! formad analyze  FILE --wrt x,y --of z          analysis report only
+//!   (alias: prove)
+//! formad explain  FILE [ARRAY] --wrt x --of z    per-array proof narrative
 //! formad adjoint  FILE --wrt x --of z [options]  print the adjoint program
 //! formad versions FILE --wrt x --of z            print all four versions
 //!
@@ -18,24 +20,35 @@
 //!   --prover-timeout-ms N
 //!                      wall-clock allowance per prover query; expiry
 //!                      degrades the affected arrays to atomics
+//!   --deadline-ms N    hard wall-clock budget for the whole run; expiry
+//!                      is an error (exit 7), unlike per-query timeouts
 //!   --jobs N           prover worker threads (0 or omitted = one per
 //!                      available core); reports are byte-identical for
 //!                      every value
 //!   --no-cache         disable the canonical proof cache (useful for
 //!                      benchmarking; verdicts are unaffected)
+//!   --trace PATH       write the structured proof trace (versioned JSON,
+//!                      schema formad-trace/v1) to PATH; its `events`
+//!                      section is byte-identical across --jobs and cache
+//!                      settings
 //! ```
 //!
 //! Exit codes: 0 success (a report that keeps every safeguard is still a
 //! success — degradation is the contract, not an error), 2 usage/IO,
 //! 3 parse, 4 validation, 5 AD failure, 6 prover panic that escaped the
 //! degradation ladder, 7 deadline.
+//!
+//! Test hook: setting `FORMAD_INTERNAL_PANIC=1` panics deliberately inside
+//! the run so the exit-6 last-resort net stays covered by the test suite.
 
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use formad::{Formad, FormadErrorKind, FormadOptions, IncMode, ParallelTreatment};
+use formad::{
+    Deadline, Formad, FormadErrorKind, FormadOptions, IncMode, ParallelTreatment, TraceSink,
+};
 use formad_ir::{parse_any, program_to_clike, program_to_string};
 
 /// Distinct nonzero exit code per error classification.
@@ -52,6 +65,9 @@ fn code_for(kind: FormadErrorKind) -> ExitCode {
 struct Args {
     command: String,
     file: String,
+    /// Positional array name for `explain` (narrates every decision when
+    /// omitted).
+    array: Option<String>,
     wrt: Vec<String>,
     of: Vec<String>,
     mode: String,
@@ -61,16 +77,20 @@ struct Args {
     increment: bool,
     table1: Option<String>,
     prover_timeout: Option<Duration>,
+    deadline_ms: Option<u64>,
     jobs: usize,
     cache: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: formad <analyze|adjoint|versions> FILE --wrt a,b --of c,d \
+        "usage: formad <analyze|prove|explain|adjoint|versions> FILE [ARRAY] \
+         --wrt a,b --of c,d \
          [--mode formad|serial|atomic|reduction] [--no-stride] \
          [--no-contexts] [--no-increment] [--table1 NAME] \
-         [--prover-timeout-ms N] [--jobs N] [--no-cache]"
+         [--prover-timeout-ms N] [--deadline-ms N] [--jobs N] [--no-cache] \
+         [--trace PATH]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +102,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut args = Args {
         command,
         file,
+        array: None,
         wrt: Vec::new(),
         of: Vec::new(),
         mode: "formad".into(),
@@ -91,8 +112,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         increment: true,
         table1: None,
         prover_timeout: None,
+        deadline_ms: None,
         jobs: 0,
         cache: true,
+        trace: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut k = 0;
@@ -139,6 +162,21 @@ fn parse_args() -> Result<Args, ExitCode> {
                     }
                 }
             }
+            "--deadline-ms" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match raw.parse::<u64>() {
+                    Ok(ms) => args.deadline_ms = Some(ms),
+                    Err(_) => {
+                        eprintln!("--deadline-ms expects an integer, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--trace" => {
+                k += 1;
+                args.trace = Some(rest.get(k).ok_or_else(usage)?.clone());
+            }
             "--jobs" => {
                 k += 1;
                 let raw = rest.get(k).ok_or_else(usage)?;
@@ -154,6 +192,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--no-stride" => args.stride = false,
             "--no-contexts" => args.contexts = false,
             "--no-increment" => args.increment = false,
+            other if !other.starts_with('-') && args.array.is_none() => {
+                // Bare positional: the array name for `explain`.
+                args.array = Some(other.to_string());
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 return Err(usage());
@@ -239,7 +281,23 @@ fn main() -> ExitCode {
     }
 }
 
+/// Write the recorded trace (if `--trace` was given) to its file.
+fn write_trace(args: &Args, sink: &Option<TraceSink>) -> Result<(), ExitCode> {
+    let (Some(path), Some(s)) = (&args.trace, sink) else {
+        return Ok(());
+    };
+    let doc = formad::trace_json(&s.snapshot());
+    if let Err(e) = fs::write(path, doc) {
+        eprintln!("cannot write trace to {path}: {e}");
+        return Err(ExitCode::from(2));
+    }
+    Ok(())
+}
+
 fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
+    if std::env::var_os("FORMAD_INTERNAL_PANIC").is_some() {
+        panic!("FORMAD_INTERNAL_PANIC test hook tripped");
+    }
     let wrt: Vec<&str> = args.wrt.iter().map(|s| s.as_str()).collect();
     let of: Vec<&str> = args.of.iter().map(|s| s.as_str()).collect();
     let mut opts = FormadOptions::new(&wrt, &of);
@@ -247,14 +305,19 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     opts.region.use_contexts = args.contexts;
     opts.region.use_increment_detection = args.increment;
     opts.region.prover_timeout = args.prover_timeout;
+    opts.region.deadline = args.deadline_ms.map(Deadline::in_ms);
     opts.region.jobs = args.jobs;
     if !args.cache {
         opts.region.cache = None;
     }
+    // `explain` always needs the event stream; other commands record one
+    // only when `--trace` asks for it.
+    let sink = (args.trace.is_some() || args.command == "explain").then(TraceSink::new);
+    opts.region.trace = sink.clone();
     let tool = Formad::new(opts);
 
     match args.command.as_str() {
-        "analyze" => {
+        "analyze" | "prove" => {
             let a = match tool.analyze(primal) {
                 Ok(a) => a,
                 Err(e) => {
@@ -269,6 +332,25 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                     println!("{}", formad::table1_row(name, &a));
                 }
                 None => print!("{}", formad::full_report(&primal.name, &a)),
+            }
+            if let Err(c) = write_trace(args, &sink) {
+                return c;
+            }
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            let a = match tool.analyze(primal) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return code_for(e.kind);
+                }
+            };
+            cache_diag(&a, args.cache);
+            let events = sink.as_ref().map(TraceSink::snapshot).unwrap_or_default();
+            print!("{}", formad::explain(&events, args.array.as_deref()));
+            if let Err(c) = write_trace(args, &sink) {
+                return c;
             }
             ExitCode::SUCCESS
         }
@@ -304,6 +386,9 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                 },
             };
             print!("{}", render(&adjoint, &args.emit));
+            if let Err(c) = write_trace(args, &sink) {
+                return c;
+            }
             ExitCode::SUCCESS
         }
         "versions" => {
@@ -333,6 +418,9 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                         return code_for(e.kind);
                     }
                 }
+            }
+            if let Err(c) = write_trace(args, &sink) {
+                return c;
             }
             ExitCode::SUCCESS
         }

@@ -407,6 +407,150 @@ fn no_cache_flag_keeps_verdicts_and_reports_stats() {
 }
 
 #[test]
+fn prove_is_an_alias_for_analyze() {
+    let f = write_temp("prove.f90", FIG2_F);
+    let (prove_out, _, ok) = formad(&["prove", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    let (analyze_out, _, ok) = formad(&["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert_eq!(strip_times(&prove_out), strip_times(&analyze_out));
+}
+
+#[test]
+fn ad_failure_exits_5() {
+    let f = write_temp("code5.f90", FIG2_F);
+    assert_eq!(
+        formad_code(&[
+            "adjoint",
+            f.to_str().unwrap(),
+            "--wrt",
+            "nosuch",
+            "--of",
+            "y"
+        ]),
+        5
+    );
+}
+
+#[test]
+fn escaped_prover_panic_exits_6() {
+    let f = write_temp("code6.f90", FIG2_F);
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(["analyze", f.to_str().unwrap(), "--wrt", "x", "--of", "y"])
+        .env("FORMAD_INTERNAL_PANIC", "1")
+        .output()
+        .expect("run formad");
+    assert_eq!(out.status.code(), Some(6));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("internal panic escaped recovery"), "{err}");
+}
+
+#[test]
+fn expired_deadline_exits_7() {
+    let f = write_temp("code7.f90", FIG2_F);
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--wrt",
+            "x",
+            "--of",
+            "y",
+            "--deadline-ms",
+            "0",
+        ])
+        .output()
+        .expect("run formad");
+    assert_eq!(out.status.code(), Some(7));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+    // Garbage value is a usage error, not a panic.
+    let (_, err, ok) = formad(&[
+        "analyze",
+        f.to_str().unwrap(),
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+        "--deadline-ms",
+        "later",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--deadline-ms expects an integer"), "{err}");
+}
+
+#[test]
+fn trace_file_is_written_and_schema_valid() {
+    let f = write_temp("traced.f90", FIG2_F);
+    let dir = std::env::temp_dir().join("formad-cli-tests");
+    let trace1 = dir.join("trace_j1.json");
+    let trace4 = dir.join("trace_j4.json");
+    for (path, jobs) in [(&trace1, "1"), (&trace4, "4")] {
+        let (_, err, ok) = formad(&[
+            "analyze",
+            f.to_str().unwrap(),
+            "--wrt",
+            "x",
+            "--of",
+            "y",
+            "--jobs",
+            jobs,
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        assert!(ok, "{err}");
+    }
+    let doc1 = std::fs::read_to_string(&trace1).unwrap();
+    let doc4 = std::fs::read_to_string(&trace4).unwrap();
+    let summary = formad::validate_trace(&doc1).expect("schema-valid trace");
+    assert!(summary.queries > 0);
+    assert!(summary
+        .decisions
+        .iter()
+        .any(|d| d.array == "x" && d.decision == "shared"));
+    formad::validate_trace(&doc4).expect("schema-valid trace");
+    // The deterministic section must not depend on --jobs: compare the
+    // documents with their volatile `perf` sections dropped.
+    let events_only = |doc: &str| doc.split("\"perf\"").next().unwrap().to_string();
+    assert_eq!(events_only(&doc1), events_only(&doc4));
+}
+
+#[test]
+fn explain_narrates_decisions() {
+    let f = write_temp("explain.f90", FIG2_F);
+    let (out, _, ok) = formad(&["explain", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    assert!(out.contains("proof narrative for `x`"), "{out}");
+    assert!(out.contains("proof narrative for `y`"), "{out}");
+    assert!(out.contains("shared (no atomics needed)"), "{out}");
+    // Narrowed to one array: the other's narrative disappears.
+    let (only_x, _, ok) = formad(&[
+        "explain",
+        f.to_str().unwrap(),
+        "x",
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+    ]);
+    assert!(ok);
+    assert!(only_x.contains("proof narrative for `x`"), "{only_x}");
+    assert!(!only_x.contains("proof narrative for `y`"), "{only_x}");
+    // An unknown array is reported, not silently empty.
+    let (missing, _, ok) = formad(&[
+        "explain",
+        f.to_str().unwrap(),
+        "zz",
+        "--wrt",
+        "x",
+        "--of",
+        "y",
+    ]);
+    assert!(ok);
+    assert!(missing.contains("no decision recorded"), "{missing}");
+}
+
+#[test]
 fn zero_timeout_degrades_but_stays_correct() {
     // With a 0ms allowance every query times out; the analysis must still
     // complete, keeping all safeguards, and the adjoint must still be

@@ -39,12 +39,18 @@
 pub mod pipeline;
 pub mod region;
 pub mod report;
+pub mod trace;
 pub mod translate;
 
 pub use formad_ad::{IncMode, ParallelTreatment};
+pub use formad_smt::Deadline;
 pub use pipeline::{
     DiffResult, Formad, FormadAnalysis, FormadError, FormadErrorKind, FormadOptions,
 };
 pub use region::{analyze_region_with, Decision, Provenance, RegionAnalysis, RegionOptions};
 pub use report::{full_report, region_report, table1_header, table1_row};
+pub use trace::{
+    deterministic_json, explain, trace_json, validate_trace, CacheAttr, QueryPerf, TraceDecision,
+    TraceEvent, TraceSink, TraceSummary, TRACE_SCHEMA,
+};
 pub use translate::{Taint, Translator};

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 use formad_ad::{differentiate, AdError, AdjointOptions, IncMode, ParallelTreatment};
 use formad_analysis::Activity;
@@ -9,6 +10,7 @@ use formad_ir::Program;
 use formad_smt::SolverStats;
 
 use crate::region::{analyze_region, Decision, RegionAnalysis, RegionOptions};
+use crate::trace::TraceEvent;
 
 /// Options for the full pipeline.
 #[derive(Debug, Clone)]
@@ -193,10 +195,32 @@ impl Formad {
     /// Run only the analysis (knowledge extraction + exploitation) and
     /// derive the safeguard plan.
     pub fn analyze(&self, primal: &Program) -> Result<FormadAnalysis, FormadError> {
+        let sink = self.options.region.trace.as_ref();
+        if let Some(s) = sink {
+            s.record(TraceEvent::Pipeline {
+                program: primal.name.clone(),
+                independents: self.options.independents.clone(),
+                dependents: self.options.dependents.clone(),
+            });
+        }
+        let mark = Instant::now();
         formad_ir::validate_strict(primal)
             .map_err(|e| FormadError::validate(format!("invalid primal: {e}")))?;
+        if let Some(s) = sink {
+            s.record(TraceEvent::Phase {
+                id: "phase/validate".to_string(),
+                dur_us: mark.elapsed().as_micros() as u64,
+            });
+        }
+        let mark = Instant::now();
         let activity =
             Activity::analyze(primal, &self.options.independents, &self.options.dependents);
+        if let Some(s) = sink {
+            s.record(TraceEvent::Phase {
+                id: "phase/activity".to_string(),
+                dur_us: mark.elapsed().as_micros() as u64,
+            });
+        }
         let mut regions = Vec::new();
         let mut maps: Vec<HashMap<String, IncMode>> = Vec::new();
         let mut stats = SolverStats::default();
@@ -216,6 +240,7 @@ impl Formad {
             maps.push(map);
             regions.push(ra);
         }
+        self.check_deadline("analysis")?;
         Ok(FormadAnalysis {
             regions,
             plan: ParallelTreatment::PerArray(maps),
@@ -227,8 +252,31 @@ impl Formad {
     /// derived per-array plan (the paper's *Adjoint FormAD* version).
     pub fn differentiate(&self, primal: &Program) -> Result<DiffResult, FormadError> {
         let analysis = self.analyze(primal)?;
+        let mark = Instant::now();
         let adjoint = differentiate(primal, &self.ad_options(analysis.plan.clone()))?;
+        if let Some(s) = self.options.region.trace.as_ref() {
+            s.record(TraceEvent::Phase {
+                id: "phase/ad".to_string(),
+                dur_us: mark.elapsed().as_micros() as u64,
+            });
+        }
+        self.check_deadline("differentiation")?;
         Ok(DiffResult { adjoint, analysis })
+    }
+
+    /// Enforce the optional global deadline: expiry is a hard pipeline
+    /// failure (exit 7 from the CLI), unlike `prover_timeout` whose
+    /// expiry degrades arrays and still succeeds.
+    fn check_deadline(&self, stage: &str) -> Result<(), FormadError> {
+        if let Some(d) = self.options.region.deadline {
+            if d.expired() {
+                return Err(FormadError::new(
+                    FormadErrorKind::Deadline,
+                    format!("global deadline expired before {stage} finished"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Generate an adjoint with an explicit treatment (the paper's

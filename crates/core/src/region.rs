@@ -40,10 +40,11 @@ use formad_analysis::{
 };
 use formad_ir::{count_stmts, Expr, ForLoop, Program, Stmt, Ty};
 use formad_smt::{
-    CancelToken, ChaosConfig, ChaosSolver, Formula, InternedFormula, ProofCache, SatResult, Solver,
-    SolverApi, SolverBudget, SolverStats, StopReason, Term,
+    CancelToken, ChaosConfig, ChaosSolver, Deadline, Formula, InternedFormula, ProofCache,
+    SatResult, Solver, SolverApi, SolverBudget, SolverStats, StopReason, Term,
 };
 
+use crate::trace::{CacheAttr, QueryPerf, TraceEvent, TraceSink};
 use crate::translate::{Taint, Translator};
 
 /// Decision for one adjoint array in one region.
@@ -173,6 +174,18 @@ pub struct RegionOptions {
     /// handle), which is how verdicts are reused across regions and whole
     /// kernel suites. `None` disables caching.
     pub cache: Option<ProofCache>,
+    /// Hard wall-clock deadline for the whole analysis. Unlike
+    /// `prover_timeout` (whose expiry *degrades* the affected arrays and
+    /// still exits 0), an expired global deadline makes the pipeline fail
+    /// with [`crate::FormadErrorKind::Deadline`]. The deadline is also
+    /// threaded into every prover so in-flight proofs stop promptly.
+    pub deadline: Option<Deadline>,
+    /// Structured event sink (see [`crate::trace`]). `None` — the default
+    /// — records nothing and costs one branch per instrumentation site;
+    /// `Some` collects a deterministic proof trace (worker events are
+    /// buffered and merged in candidate order, so the recorded stream is
+    /// identical for every `jobs` value and cache setting).
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for RegionOptions {
@@ -189,6 +202,8 @@ impl Default for RegionOptions {
             chaos: None,
             jobs: 0,
             cache: Some(ProofCache::new()),
+            deadline: None,
+            trace: None,
         }
     }
 }
@@ -266,7 +281,19 @@ pub fn analyze_region_with<S: SolverApi + Send>(
     if let Some(token) = &opts.cancel {
         solver.set_cancel_token(token.clone());
     }
+    if let Some(d) = opts.deadline {
+        solver.set_deadline(d);
+    }
     solver.set_cache(opts.cache.clone());
+
+    let sink = opts.trace.as_ref();
+    if let Some(s) = sink {
+        s.record(TraceEvent::RegionBegin {
+            region,
+            loop_var: l.var.clone(),
+            loc: count_stmts(&l.body),
+        });
+    }
 
     let mut out = RegionAnalysis {
         region,
@@ -412,6 +439,20 @@ pub fn analyze_region_with<S: SolverApi + Send>(
     out.safe_write_exprs.sort();
     out.safe_write_exprs.dedup();
     out.unique_exprs = expr_set.len();
+    let mut phase_mark = Instant::now();
+    if let Some(s) = sink {
+        s.record(TraceEvent::Model {
+            region,
+            model_size: out.model_size,
+            unique_exprs: out.unique_exprs,
+            roots: roots.len(),
+            facts: facts.len(),
+        });
+        s.record(TraceEvent::Phase {
+            id: format!("r{region}/phase/extract"),
+            dur_us: started.elapsed().as_micros() as u64,
+        });
+    }
 
     // buildModel satisfiability safeguard, per context (paper §5.5). A
     // prover panic here is recovered and treated like a suspected race:
@@ -433,6 +474,16 @@ pub fn analyze_region_with<S: SolverApi + Send>(
             solver.pop();
             r
         }));
+        if let Some(s) = sink {
+            s.record(TraceEvent::RaceCheck {
+                region,
+                ctx: c.0 as usize,
+                verdict: match &checked {
+                    Ok(r) => verdict_str(r),
+                    Err(_) => "panicked".to_string(),
+                },
+            });
+        }
         match checked {
             Ok(SatResult::Unsat) => {
                 race_detected = true;
@@ -457,6 +508,13 @@ pub fn analyze_region_with<S: SolverApi + Send>(
             }
         }
     }
+    if let Some(s) = sink {
+        s.record(TraceEvent::Phase {
+            id: format!("r{region}/phase/validate"),
+            dur_us: phase_mark.elapsed().as_micros() as u64,
+        });
+        phase_mark = Instant::now();
+    }
 
     // ------------------------------------------------------------------
     // Knowledge exploitation (phase 2).
@@ -468,9 +526,13 @@ pub fn analyze_region_with<S: SolverApi + Send>(
     candidates.dedup();
     static EMPTY: Vec<TrRef> = Vec::new();
     // Arrays with an immediate decision are settled in-line; the rest
-    // become proof tasks for the worker pool below.
+    // become proof tasks for the worker pool below. `chunks` remembers, in
+    // candidate order, whether each decided array was settled here
+    // (`Ready`) or by proof task `i` (`Task`), so trace events can be
+    // flushed in candidate order after the fan-out.
     let mut tasks: Vec<ProofTask<S>> = Vec::new();
     let mut overlays: Vec<Option<ProofCache>> = Vec::new();
+    let mut chunks: Vec<TraceChunk> = Vec::new();
     for array in &candidates {
         let trefs = by_array.get(array).unwrap_or(&EMPTY);
         if prog.ty_of(array) != Some(Ty::Real) {
@@ -480,16 +542,30 @@ pub fn analyze_region_with<S: SolverApi + Send>(
             continue;
         }
         if race_detected {
-            out.decisions.insert(
-                array.clone(),
-                Decision::Guarded("primal race suspected; all safeguards kept".into()),
-            );
+            let d = Decision::Guarded("primal race suspected; all safeguards kept".into());
+            if sink.is_some() {
+                chunks.push(TraceChunk::Ready(decision_event(
+                    region,
+                    array,
+                    &d,
+                    race_provenance,
+                )));
+            }
+            out.decisions.insert(array.clone(), d);
             out.provenance.insert(array.clone(), race_provenance);
             continue;
         }
         if let Some(reason) = tainted_arrays.get(array) {
-            out.decisions
-                .insert(array.clone(), Decision::Guarded(reason.clone()));
+            let d = Decision::Guarded(reason.clone());
+            if sink.is_some() {
+                chunks.push(TraceChunk::Ready(decision_event(
+                    region,
+                    array,
+                    &d,
+                    Provenance::Refuted,
+                )));
+            }
+            out.decisions.insert(array.clone(), d);
             out.provenance.insert(array.clone(), Provenance::Refuted);
             continue;
         }
@@ -526,6 +602,14 @@ pub fn analyze_region_with<S: SolverApi + Send>(
 
         if q_writes.is_empty() {
             // Adjoint only reads this array: trivially shared.
+            if sink.is_some() {
+                chunks.push(TraceChunk::Ready(decision_event(
+                    region,
+                    array,
+                    &Decision::Shared,
+                    Provenance::Proved,
+                )));
+            }
             out.decisions.insert(array.clone(), Decision::Shared);
             out.provenance.insert(array.clone(), Provenance::Proved);
             continue;
@@ -544,8 +628,13 @@ pub fn analyze_region_with<S: SolverApi + Send>(
         // so hit/miss behavior is schedule-independent.
         worker.set_cache(overlay.clone());
         overlays.push(overlay);
+        if sink.is_some() {
+            chunks.push(TraceChunk::Task(tasks.len()));
+        }
         tasks.push(ProofTask {
             array: array.clone(),
+            region,
+            trace: sink.is_some(),
             q_writes,
             q_all,
             solver: worker,
@@ -605,12 +694,23 @@ pub fn analyze_region_with<S: SolverApi + Send>(
 
     // Merge outcomes in candidate order — reports are byte-identical to a
     // sequential run regardless of `jobs`.
+    let mut task_trace: Vec<Vec<TraceEvent>> = Vec::new();
     for slot in &results {
-        let outcome = slot
+        let mut outcome = slot
             .lock()
             .expect("proof worker poisoned a result slot")
             .take()
             .expect("every proof task produces an outcome");
+        if sink.is_some() {
+            let mut evs = std::mem::take(&mut outcome.events);
+            evs.push(decision_event(
+                region,
+                &outcome.array,
+                &outcome.decision,
+                outcome.provenance,
+            ));
+            task_trace.push(evs);
+        }
         out.decisions
             .insert(outcome.array.clone(), outcome.decision);
         out.provenance.insert(outcome.array, outcome.provenance);
@@ -627,13 +727,66 @@ pub fn analyze_region_with<S: SolverApi + Send>(
     out.stats.merge(&phase1);
     out.queries = out.stats.checks;
     out.time = started.elapsed();
+    // Flush the deterministic trace: immediate decisions and worker
+    // buffers interleave exactly in candidate order, for every job count.
+    if let Some(s) = sink {
+        for chunk in chunks {
+            match chunk {
+                TraceChunk::Ready(ev) => s.record(ev),
+                TraceChunk::Task(i) => s.extend(std::mem::take(&mut task_trace[i])),
+            }
+        }
+        s.record(TraceEvent::Phase {
+            id: format!("r{region}/phase/prove"),
+            dur_us: phase_mark.elapsed().as_micros() as u64,
+        });
+        s.record(TraceEvent::RegionEnd {
+            region,
+            queries: out.queries,
+            warnings: out.warnings.len(),
+            dur_us: out.time.as_micros() as u64,
+        });
+    }
     out
+}
+
+/// Trace bookkeeping for one candidate array: either a single immediate
+/// `Decision` event, or a reference to proof task `i`'s event buffer.
+enum TraceChunk {
+    Ready(TraceEvent),
+    Task(usize),
+}
+
+/// Render a per-array decision as a trace event.
+fn decision_event(region: usize, array: &str, d: &Decision, p: Provenance) -> TraceEvent {
+    let (decision, reason) = match d {
+        Decision::Shared => ("shared".to_string(), String::new()),
+        Decision::Guarded(r) => ("guarded".to_string(), r.clone()),
+    };
+    TraceEvent::Decision {
+        region,
+        array: array.to_string(),
+        decision,
+        provenance: p.tag().to_string(),
+        reason,
+    }
+}
+
+/// Uniform rendering of a prover verdict in trace events.
+fn verdict_str(r: &SatResult) -> String {
+    match r {
+        SatResult::Sat => "sat".to_string(),
+        SatResult::Unsat => "unsat".to_string(),
+        SatResult::Unknown(reason) => format!("unknown: {reason}"),
+    }
 }
 
 /// One candidate array whose adjoint conflict pairs need proving, bundled
 /// with the worker solver forked for it.
 struct ProofTask<S> {
     array: String,
+    region: usize,
+    trace: bool,
     q_writes: Vec<(Vec<Term>, CtxId, bool)>,
     q_all: Vec<(Vec<Term>, CtxId)>,
     solver: S,
@@ -649,6 +802,20 @@ struct ArrayOutcome {
     warnings: Vec<String>,
     recovered_panics: u64,
     stats: SolverStats,
+    /// Worker-buffered trace events (empty when tracing is off); the
+    /// coordinator flushes them in candidate order.
+    events: Vec<TraceEvent>,
+}
+
+/// Per-task trace state: the worker's private event buffer plus the
+/// sequence counters that keep span ids unique across retry attempts.
+struct TaskTracer {
+    region: usize,
+    array: String,
+    attempt: u32,
+    qseq: usize,
+    sseq: usize,
+    events: Vec<TraceEvent>,
 }
 
 /// Run the escalating-budget retry ladder for one array on its worker
@@ -669,6 +836,19 @@ fn run_proof_task<S: SolverApi>(
     opts: &RegionOptions,
 ) -> ArrayOutcome {
     let array = task.array.clone();
+    let mut tracer = task.trace.then(|| TaskTracer {
+        region: task.region,
+        array: array.clone(),
+        attempt: 0,
+        qseq: 0,
+        sseq: 0,
+        events: vec![TraceEvent::ArrayBegin {
+            region: task.region,
+            array: array.clone(),
+            writes: task.q_writes.len(),
+            entries: task.q_all.len(),
+        }],
+    });
     let solver = &mut task.solver;
     let mut budget = opts.budget;
     let mut panics_here = 0u32;
@@ -685,6 +865,9 @@ fn run_proof_task<S: SolverApi>(
             };
         }
         solver.set_budget(budget);
+        if let Some(t) = tracer.as_mut() {
+            t.attempt = attempt;
+        }
         let proof = catch_unwind(AssertUnwindSafe(|| {
             prove_array(
                 &mut *solver,
@@ -696,8 +879,25 @@ fn run_proof_task<S: SolverApi>(
                 &task.q_writes,
                 &task.q_all,
                 safe_write_exprs,
+                &mut tracer,
             )
         }));
+        if let Some(t) = tracer.as_mut() {
+            t.events.push(TraceEvent::Attempt {
+                region: t.region,
+                array: t.array.clone(),
+                attempt,
+                max_lia_calls: budget.max_lia_calls,
+                max_branches: budget.max_branches,
+                outcome: match &proof {
+                    Err(_) => "panicked".to_string(),
+                    Ok(ArrayProof::Safe) => "safe".to_string(),
+                    Ok(ArrayProof::Conflict { .. }) => "conflict".to_string(),
+                    Ok(ArrayProof::NormalizationFailed(_)) => "normalization-failed".to_string(),
+                    Ok(ArrayProof::Unknown(reason)) => format!("unknown: {reason}"),
+                },
+            });
+        }
         match proof {
             Err(_) => {
                 solver.reset_to_base();
@@ -765,6 +965,7 @@ fn run_proof_task<S: SolverApi>(
         warnings,
         recovered_panics: u64::from(panics_here),
         stats: solver.stats(),
+        events: tracer.map(|t| t.events).unwrap_or_default(),
     }
 }
 
@@ -810,6 +1011,7 @@ fn prove_array<S: SolverApi>(
     q_writes: &[(Vec<Term>, CtxId, bool)],
     q_all: &[(Vec<Term>, CtxId)],
     safe_write_exprs: &[String],
+    tracer: &mut Option<TaskTracer>,
 ) -> ArrayProof {
     let mut unknown: Option<StopReason> = None;
     // Base frame: the roots hold for every pair of this array.
@@ -836,6 +1038,16 @@ fn prove_array<S: SolverApi>(
                     .iter()
                     .any(|site| fact_keys.contains(&(*site, pair_key(w_terms, e_terms))))
             {
+                if let Some(t) = tracer.as_mut() {
+                    t.events.push(TraceEvent::PairSkipped {
+                        region: t.region,
+                        array: t.array.clone(),
+                        seq: t.sseq,
+                        write: render_tuple(w_terms),
+                        entry: render_tuple(e_terms),
+                    });
+                    t.sseq += 1;
+                }
                 continue;
             }
             let included: Vec<usize> = facts
@@ -875,7 +1087,35 @@ fn prove_array<S: SolverApi>(
             };
             solver.push();
             solver.assert(q);
+            let before = tracer.as_ref().map(|_| (solver.stats(), Instant::now()));
             let r = solver.check();
+            if let Some(t) = tracer.as_mut() {
+                let (since, t0) = before.expect("stats snapshot taken when tracing");
+                let d = solver.stats().delta(&since);
+                let cache = if d.cache_hits > 0 {
+                    CacheAttr::Hit
+                } else if d.cache_misses > 0 {
+                    CacheAttr::Miss
+                } else {
+                    CacheAttr::Off
+                };
+                t.events.push(TraceEvent::Query {
+                    region: t.region,
+                    array: t.array.clone(),
+                    seq: t.qseq,
+                    attempt: t.attempt,
+                    write: render_tuple(w_terms),
+                    entry: render_tuple(e_terms),
+                    verdict: verdict_str(&r),
+                    perf: QueryPerf {
+                        dur_us: t0.elapsed().as_micros() as u64,
+                        lia_calls: d.lia_calls,
+                        branches: d.branches,
+                        cache,
+                    },
+                });
+                t.qseq += 1;
+            }
             solver.pop();
             match r {
                 SatResult::Unsat => {}

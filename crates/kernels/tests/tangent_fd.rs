@@ -1,0 +1,92 @@
+//! Tangent-mode finite-difference cross-check on the benchmark kernels:
+//! forward mode computes `ẏ = J·ẋ`, so `⟨w, ẏ⟩` must agree with the
+//! central-difference approximation of `⟨w, J·ẋ⟩` on the primal. This is
+//! independent of the adjoint pipeline and so cross-validates both the
+//! tangent transformation and the finite-difference harness the adjoint
+//! tests rely on.
+
+use formad_ad::{differentiate_tangent, AdjointOptions, IncMode, ParallelTreatment};
+use formad_kernels::{GfmcCase, GreenGaussCase};
+use formad_machine::{tangent_dot_test, Bindings, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(seed: u64, n: usize) -> Vec<f64> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
+}
+
+fn check_tangent(
+    primal: &formad_ir::Program,
+    base: &Bindings,
+    independents: &[(&str, Vec<f64>)],
+    dependents: &[(&str, Vec<f64>)],
+    tol: f64,
+) {
+    let indep: Vec<&str> = independents.iter().map(|(n, _)| *n).collect();
+    let dep: Vec<&str> = dependents.iter().map(|(n, _)| *n).collect();
+    // Tangent mode needs no race-safety treatment; the option is ignored.
+    let opts = AdjointOptions::new(&indep, &dep, ParallelTreatment::Uniform(IncMode::Plain));
+    let tangent = differentiate_tangent(primal, &opts).unwrap();
+    for threads in [1usize, 4] {
+        let t = tangent_dot_test(
+            primal,
+            &tangent,
+            base,
+            independents,
+            dependents,
+            &Machine::with_threads(threads),
+            1e-6,
+            "d",
+        )
+        .unwrap_or_else(|e| panic!("T={threads}: {e}"));
+        assert!(
+            t.passes(tol),
+            "T={threads}: fd={} tangent={} rel={}",
+            t.fd_value,
+            t.adjoint_value,
+            t.rel_error
+        );
+    }
+}
+
+#[test]
+fn gfmc_tangent_matches_fd() {
+    let c = GfmcCase::new(8, 1);
+    let base = c.bindings_split(17);
+    let ns2 = c.ns * c.ns;
+    check_tangent(
+        &c.ir(),
+        &base,
+        &[("cr", rand_vec(61, ns2)), ("cl", rand_vec(62, ns2))],
+        &[("cr", rand_vec(63, ns2)), ("cl", rand_vec(64, ns2))],
+        1e-4, // nonlinear tanh: finite differences are less exact
+    );
+}
+
+#[test]
+fn gfmc_star_tangent_matches_fd() {
+    let c = GfmcCase::new(8, 1);
+    let base = c.bindings(19);
+    let ns2 = c.ns * c.ns;
+    check_tangent(
+        &c.ir_star(),
+        &base,
+        &[("cr", rand_vec(71, ns2)), ("cl", rand_vec(72, ns2))],
+        &[("cr", rand_vec(73, ns2)), ("cl", rand_vec(74, ns2))],
+        1e-4,
+    );
+}
+
+#[test]
+fn green_gauss_tangent_matches_fd() {
+    let c = GreenGaussCase::linear(24, 2);
+    let base = c.bindings(23);
+    check_tangent(
+        &c.ir(),
+        &base,
+        &[("dv", rand_vec(81, 24))],
+        &[("grad", rand_vec(82, 24))],
+        1e-6,
+    );
+}

@@ -1,10 +1,11 @@
-//! Finite-difference validation of generated adjoints.
+//! Finite-difference validation of generated derivatives.
 //!
 //! The standard dot-product test: for the primal map `y = F(x)`, reverse
 //! mode computes `x̄ = Jᵀ ȳ`. Central finite differences approximate the
 //! directional derivative `J·v`. Correctness requires
 //! `⟨ȳ, J·v⟩ = ⟨x̄, v⟩` for random `ȳ`, `v` — checked here to a relative
-//! tolerance.
+//! tolerance. The tangent-mode variant checks `⟨w, ẏ⟩` for `ẏ = J·ẋ`
+//! against the same finite-difference value directly.
 
 use formad_ir::Program;
 
@@ -16,7 +17,8 @@ use crate::interp::{run, Machine};
 pub struct DotTest {
     /// ⟨ȳ, J·v⟩ from central finite differences on the primal.
     pub fd_value: f64,
-    /// ⟨x̄, v⟩ from the adjoint program.
+    /// ⟨x̄, v⟩ from the adjoint program (or ⟨w, ẏ⟩ from the tangent
+    /// program in [`tangent_dot_test`]).
     pub adjoint_value: f64,
     /// |fd − adj| / max(|fd|, |adj|, 1e-12).
     pub rel_error: f64,
@@ -122,5 +124,101 @@ pub fn dot_product_test(
         fd_value,
         adjoint_value,
         rel_error: (fd_value - adjoint_value).abs() / denom,
+    })
+}
+
+/// Run the tangent-mode dot-product test.
+///
+/// For `ẏ = J·ẋ` the directional derivative `⟨w, J·ẋ⟩` is approximated
+/// with central finite differences on the primal and compared against
+/// `⟨w, ẏ⟩` from one tangent run seeded with `ẋ`.
+///
+/// * `tangent` — the forward-mode transformation of `primal` (parameters:
+///   primal's plus `xd`-style tangents).
+/// * `independents` — per array, the seed direction `ẋ`;
+///   `dependents` — per array, the weight vector `w`.
+/// * `suffix` — the tangent-variable suffix (`"d"` for `differentiate_tangent`).
+#[allow(clippy::too_many_arguments)]
+pub fn tangent_dot_test(
+    primal: &Program,
+    tangent: &Program,
+    base: &Bindings,
+    independents: &[(&str, Vec<f64>)],
+    dependents: &[(&str, Vec<f64>)],
+    machine: &Machine,
+    h: f64,
+    suffix: &str,
+) -> Result<DotTest, ExecError> {
+    // --- finite differences: g(s) = ⟨w, F(x + s·ẋ)⟩ -----------------------
+    let eval_g = |s: f64| -> Result<f64, ExecError> {
+        let mut b = base.clone();
+        for (name, v) in independents {
+            let arr = b
+                .real_arrays
+                .get_mut(*name)
+                .ok_or_else(|| ExecError::new(format!("independent `{name}` unbound")))?;
+            for (a, d) in arr.iter_mut().zip(v) {
+                *a += s * d;
+            }
+        }
+        run(primal, &mut b, machine)?;
+        let mut g = 0.0;
+        for (name, w) in dependents {
+            let arr = b
+                .get_real_array(name)
+                .ok_or_else(|| ExecError::new(format!("dependent `{name}` unbound")))?;
+            for (y, wy) in arr.iter().zip(w) {
+                g += y * wy;
+            }
+        }
+        Ok(g)
+    };
+    let fd_value = (eval_g(h)? - eval_g(-h)?) / (2.0 * h);
+
+    // --- tangent: ẏ = J·ẋ, then ⟨w, ẏ⟩ -----------------------------------
+    let mut b = base.clone();
+    for (name, v) in independents {
+        let arr_len = base
+            .get_real_array(name)
+            .ok_or_else(|| ExecError::new(format!("independent `{name}` unbound")))?
+            .len();
+        assert_eq!(arr_len, v.len(), "seed length mismatch for {name}");
+        b.real_arrays.insert(format!("{name}{suffix}"), v.clone());
+    }
+    for (name, w) in dependents {
+        // Zero-initialized tangent outputs (unless the variable is also
+        // an independent and already seeded).
+        let key = format!("{name}{suffix}");
+        b.real_arrays
+            .entry(key)
+            .or_insert_with(|| vec![0.0; w.len()]);
+    }
+    // Any other active tangent parameters default to zero.
+    for d in &tangent.params {
+        if d.is_array() && !b.real_arrays.contains_key(&d.name) && d.ty == formad_ir::Ty::Real {
+            if let Some(stem) = d.name.strip_suffix(suffix) {
+                if let Some(primal_arr) = base.get_real_array(stem) {
+                    b.real_arrays
+                        .insert(d.name.clone(), vec![0.0; primal_arr.len()]);
+                }
+            }
+        }
+    }
+    run(tangent, &mut b, machine)?;
+    let mut tangent_value = 0.0;
+    for (name, w) in dependents {
+        let yd = b
+            .get_real_array(&format!("{name}{suffix}"))
+            .ok_or_else(|| ExecError::new(format!("tangent of `{name}` missing")))?;
+        for (g, wy) in yd.iter().zip(w) {
+            tangent_value += g * wy;
+        }
+    }
+
+    let denom = fd_value.abs().max(tangent_value.abs()).max(1e-12);
+    Ok(DotTest {
+        fd_value,
+        adjoint_value: tangent_value,
+        rel_error: (fd_value - tangent_value).abs() / denom,
     })
 }

@@ -9,7 +9,8 @@
 //!   [`cost::CostModel`] charging plain/atomic/reduction accesses so the
 //!   paper's scalability experiments (run on an 18-core Xeon) can be
 //!   regenerated on a single-core host;
-//! - [`fd`]: dot-product (finite-difference) validation of adjoints.
+//! - [`fd`]: dot-product (finite-difference) validation of adjoints and
+//!   tangents.
 //!
 //! Semantics are exact and thread-count independent; only the *cycle
 //! accounting* models parallel hardware. See `DESIGN.md` for the
@@ -23,6 +24,6 @@ pub mod lower;
 
 pub use bindings::{Bindings, ExecError};
 pub use cost::{CostModel, ExecResult, ExecStats};
-pub use fd::{dot_product_test, DotTest};
+pub use fd::{dot_product_test, tangent_dot_test, DotTest};
 pub use interp::{run, Machine};
 pub use lower::{lower, LProgram};

@@ -11,10 +11,12 @@
 //! [`canonical_query_key`] computes a deterministic renaming-invariant key
 //! for a clause stack: every literal is expanded structurally (atom ids
 //! resolved through the [`AtomTable`], so keys are comparable *across*
-//! solvers with independently grown tables), signs of `=`/`≠` literals are
-//! normalized, literals and clauses are sorted, duplicates dropped, and
-//! symbols/function names are renamed `s0, s1, …` / `f0, f1, …` in first
-//! occurrence order over the sorted form.
+//! solvers with independently grown tables), then a canonical bijective
+//! renaming of symbols/function names to `s0, s1, …` / `f0, f1, …` is
+//! found by color refinement with individualization, and the clause set
+//! is rendered under it — term order, `=`/`≠` polarity, literal and
+//! clause order all derive from the canonical ranks, with duplicates
+//! dropped, so any bijective renaming of the input yields the same key.
 //!
 //! [`ProofCache`] is a sharded concurrent map from canonical keys to
 //! *definite* verdicts. `Unknown` results are never stored and never
@@ -30,7 +32,7 @@
 //! inserted it, which is valid for every query with the same canonical
 //! form.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -257,10 +259,11 @@ fn canon_lin_raw(e: &LinExpr, table: &AtomTable) -> CanonLin {
     }
 }
 
-/// A canonical literal: relation + sign-normalized expression. For `=` and
-/// `≠`, `e ⋈ 0` and `-e ⋈ 0` are the same constraint, so the sign is fixed
-/// by making the leading term's coefficient (or the constant, for ground
-/// literals) non-negative. `≤` is not symmetric and keeps its sign.
+/// A canonical literal: relation + structurally-expanded expression. Sign
+/// normalization for `=`/`≠` (where `e ⋈ 0` and `-e ⋈ 0` are the same
+/// constraint) happens at render time — the polarity whose rendering is
+/// lexicographically smaller wins, a choice independent of any naming.
+/// `≤` is not symmetric and keeps its sign.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CanonLit {
     rel: u8,
@@ -268,90 +271,468 @@ struct CanonLit {
 }
 
 fn canon_lit(rel: Rel, expr: &LinExpr, table: &AtomTable) -> CanonLit {
-    let mut e = canon_lin_raw(expr, table);
-    if matches!(rel, Rel::Eq | Rel::Ne) {
-        let leading = e.terms.first().map(|(_, c)| *c).unwrap_or(e.constant);
-        if leading < 0 {
-            for (_, c) in &mut e.terms {
-                *c = -*c;
-            }
-            e.constant = -e.constant;
-        }
-    }
     CanonLit {
         rel: match rel {
             Rel::Eq => 0,
             Rel::Ne => 1,
             Rel::Le => 2,
         },
-        expr: e,
+        expr: canon_lin_raw(expr, table),
     }
 }
 
-/// Renamer assigning dense names to symbols and function names in first
-/// occurrence order over the canonical (sorted) structure.
-#[derive(Default)]
-struct Namer {
-    syms: HashMap<String, usize>,
-    fns: HashMap<String, usize>,
+// ---------------------------------------------------------------------
+// Canonical renaming search.
+//
+// Sorting clauses by their original-name structure and then renaming in
+// first-occurrence order is NOT renaming-invariant: a renaming can
+// reorder the sort, which changes which name is "first" and thus the
+// whole key. Instead, the renaming itself is canonicalized first — hash
+// -based color refinement over the names (each name's color is refined
+// by how it sits in the clause structure), with individualization for
+// names the refinement cannot distinguish — and only then is the clause
+// set rendered, with term order, literal polarity, and clause order all
+// derived from the canonical ranks rather than from the original names.
+//
+// Refinement runs entirely on integer hashes over an id-resolved copy of
+// the query (this sits on the hot path of every cached `check()`);
+// strings are built once, for the final emission.
+// ---------------------------------------------------------------------
+
+// Rendering happens on the id-resolved query (see `IQuery` below): name
+// occurrences emit their canonical rank through a dense `Vec<usize>`
+// indexed by interned id, so the hot final emission never hashes a name
+// string. The `=`/`≠` polarity is fixed by the smaller polarity *hash*
+// (the same normalization the refinement hashes use), so each literal is
+// rendered exactly once.
+
+// --- Id-resolved query for hash refinement ---------------------------
+
+/// Mirror of [`CanonAtom`] with names resolved to dense ids (symbols and
+/// functions share one id space: symbols first, then functions).
+#[derive(Debug)]
+enum IAtom {
+    Sym(usize),
+    App(usize, Vec<ILin>),
+    Mul(Box<ILin>, Box<ILin>),
+    Div(Box<ILin>, Box<ILin>),
+    Mod(Box<ILin>, Box<ILin>),
 }
 
-impl Namer {
-    fn sym(&mut self, name: &str) -> usize {
-        let next = self.syms.len();
-        *self.syms.entry(name.to_string()).or_insert(next)
-    }
-    fn func(&mut self, name: &str) -> usize {
-        let next = self.fns.len();
-        *self.fns.entry(name.to_string()).or_insert(next)
+#[derive(Debug)]
+struct ILin {
+    terms: Vec<(IAtom, i128)>,
+    constant: i128,
+}
+
+#[derive(Debug)]
+struct ILit {
+    rel: u8,
+    expr: ILin,
+}
+
+/// The query with names interned: id-resolved clauses plus, per name, the
+/// indices of the clauses mentioning it.
+struct IQuery {
+    clauses: Vec<Vec<ILit>>,
+    incidence: Vec<Vec<usize>>,
+    sym_names: Vec<String>,
+    fn_names: Vec<String>,
+}
+
+/// splitmix64-style two-input mixer.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .rotate_left(23)
+        .wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    x
+}
+
+fn hash_i128(c: i128) -> u64 {
+    mix(c as u64, (c >> 64) as u64)
+}
+
+/// Color of a name occurrence: its current color, or the marker when it
+/// is the name whose signature is being computed.
+fn occ_color(colors: &[u64], id: usize, mark: usize) -> u64 {
+    if id == mark {
+        0x5EED_0000_0000_004D
+    } else {
+        colors[id]
     }
 }
 
-fn emit_atom(a: &CanonAtom, n: &mut Namer, out: &mut String) {
+/// Hash a linear combination under the current colors, returning the
+/// hashes of both polarities (`e` and `-e`). Terms combine commutatively
+/// (wrapping add) so the hash is independent of stored term order.
+fn ilin_hash(e: &ILin, colors: &[u64], mark: usize) -> (u64, u64) {
+    let mut pos: u64 = 0x6C1B_8E4F_0D2A_9C35;
+    let mut neg: u64 = 0x6C1B_8E4F_0D2A_9C35;
+    for (a, c) in &e.terms {
+        let ah = iatom_hash(a, colors, mark);
+        pos = pos.wrapping_add(mix(ah, hash_i128(*c)));
+        neg = neg.wrapping_add(mix(ah, hash_i128(-*c)));
+    }
+    (
+        mix(pos, hash_i128(e.constant)),
+        mix(neg, hash_i128(-e.constant)),
+    )
+}
+
+fn iatom_hash(a: &IAtom, colors: &[u64], mark: usize) -> u64 {
     match a {
-        CanonAtom::Sym(s) => {
-            out.push('s');
-            out.push_str(&n.sym(s).to_string());
+        IAtom::Sym(id) => mix(0xA1, occ_color(colors, *id, mark)),
+        IAtom::App(id, args) => {
+            // Argument order is semantic: fold sequentially.
+            let mut h = mix(0xA2, occ_color(colors, *id, mark));
+            for arg in args {
+                h = mix(h, ilin_hash(arg, colors, mark).0);
+            }
+            h
         }
-        CanonAtom::App(f, args) => {
+        IAtom::Mul(a, b) => binop_hash(0xA3, a, b, colors, mark),
+        IAtom::Div(a, b) => binop_hash(0xA4, a, b, colors, mark),
+        IAtom::Mod(a, b) => binop_hash(0xA5, a, b, colors, mark),
+    }
+}
+
+fn binop_hash(tag: u64, a: &ILin, b: &ILin, colors: &[u64], mark: usize) -> u64 {
+    mix(
+        mix(tag, ilin_hash(a, colors, mark).0),
+        ilin_hash(b, colors, mark).0,
+    )
+}
+
+/// Hash one literal: `=`/`≠` take the smaller polarity hash (the same
+/// sign normalization the final rendering applies), `≤` keeps its sign.
+fn ilit_hash(l: &ILit, colors: &[u64], mark: usize) -> u64 {
+    let (pos, neg) = ilin_hash(&l.expr, colors, mark);
+    let e = if l.rel == 2 { pos } else { pos.min(neg) };
+    mix(u64::from(l.rel), e)
+}
+
+/// Hash a clause: sorted fold of its literal hashes (literal order is not
+/// semantic).
+fn iclause_hash(c: &[ILit], colors: &[u64], mark: usize) -> u64 {
+    let mut hs: Vec<u64> = c.iter().map(|l| ilit_hash(l, colors, mark)).collect();
+    hs.sort_unstable();
+    hs.into_iter().fold(0xC1A0_5E00, mix)
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut cs: Vec<u64> = colors.to_vec();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+/// Color refinement to a fixpoint: each round, a name's new color is a
+/// hash of its old color and the *set* of clause-context hashes computed
+/// with that name's occurrences marked. Stops when a round fails to split
+/// another color class. A set (not multiset) of contexts keeps the
+/// refinement insensitive to clauses that duplicate each other only after
+/// polarity normalization.
+fn refine(q: &IQuery, mut colors: Vec<u64>) -> Vec<u64> {
+    let mut distinct = count_distinct(&colors);
+    loop {
+        let mut next = Vec::with_capacity(colors.len());
+        for id in 0..colors.len() {
+            let mut ctxs: Vec<u64> = q.incidence[id]
+                .iter()
+                .map(|&ci| iclause_hash(&q.clauses[ci], &colors, id))
+                .collect();
+            ctxs.sort_unstable();
+            ctxs.dedup();
+            next.push(ctxs.into_iter().fold(mix(0x516, colors[id]), mix));
+        }
+        let d = count_distinct(&next);
+        // Discrete coloring: nothing left to split, skip the fixpoint
+        // confirmation round.
+        if d == next.len() {
+            return next;
+        }
+        if d == distinct {
+            return colors;
+        }
+        distinct = d;
+        colors = next;
+    }
+}
+
+/// Dense per-kind ranks (indexed by interned id) from final colors, in
+/// color order; names sharing a color are ordered by original name (only
+/// reachable when the search budget is exhausted).
+fn ranks_vec(q: &IQuery, colors: &[u64]) -> Vec<usize> {
+    let nsyms = q.sym_names.len();
+    let mut ranks = vec![0usize; colors.len()];
+    let mut order: Vec<usize> = (0..nsyms).collect();
+    order.sort_by(|&a, &b| (colors[a], &q.sym_names[a]).cmp(&(colors[b], &q.sym_names[b])));
+    for (k, id) in order.into_iter().enumerate() {
+        ranks[id] = k;
+    }
+    let mut order: Vec<usize> = (nsyms..colors.len()).collect();
+    order.sort_by(|&a, &b| {
+        (colors[a], &q.fn_names[a - nsyms]).cmp(&(colors[b], &q.fn_names[b - nsyms]))
+    });
+    for (k, id) in order.into_iter().enumerate() {
+        ranks[id] = k;
+    }
+    ranks
+}
+
+fn iatom_str(a: &IAtom, ranks: &[usize], out: &mut String) {
+    match a {
+        IAtom::Sym(id) => {
+            out.push('s');
+            out.push_str(itoa(ranks[*id]).as_str());
+        }
+        IAtom::App(id, args) => {
             out.push('f');
-            out.push_str(&n.func(f).to_string());
+            out.push_str(itoa(ranks[*id]).as_str());
             out.push('(');
             for (k, arg) in args.iter().enumerate() {
                 if k > 0 {
                     out.push(',');
                 }
-                emit_lin(arg, n, out);
+                ilin_str(arg, false, ranks, out);
             }
             out.push(')');
         }
-        CanonAtom::Mul(a, b) => emit_binop('*', a, b, n, out),
-        CanonAtom::Div(a, b) => emit_binop('/', a, b, n, out),
-        CanonAtom::Mod(a, b) => emit_binop('%', a, b, n, out),
+        IAtom::Mul(a, b) => ibinop_str('*', a, b, ranks, out),
+        IAtom::Div(a, b) => ibinop_str('/', a, b, ranks, out),
+        IAtom::Mod(a, b) => ibinop_str('%', a, b, ranks, out),
     }
 }
 
-fn emit_binop(op: char, a: &CanonLin, b: &CanonLin, n: &mut Namer, out: &mut String) {
+fn itoa(v: usize) -> String {
+    v.to_string()
+}
+
+fn ibinop_str(op: char, a: &ILin, b: &ILin, ranks: &[usize], out: &mut String) {
     out.push(op);
     out.push('(');
-    emit_lin(a, n, out);
+    ilin_str(a, false, ranks, out);
     out.push(',');
-    emit_lin(b, n, out);
+    ilin_str(b, false, ranks, out);
     out.push(')');
 }
 
-fn emit_lin(e: &CanonLin, n: &mut Namer, out: &mut String) {
-    for (k, (atom, coeff)) in e.terms.iter().enumerate() {
+/// Render a linear combination with terms ordered by their rendered
+/// atoms — an order independent of the original names once the ranks are
+/// canonical. `negate` flips every sign.
+fn ilin_str(e: &ILin, negate: bool, ranks: &[usize], out: &mut String) {
+    let mut parts: Vec<(String, i128)> = e
+        .terms
+        .iter()
+        .map(|(a, c)| {
+            let mut s = String::new();
+            iatom_str(a, ranks, &mut s);
+            (s, if negate { -c } else { *c })
+        })
+        .collect();
+    parts.sort();
+    for (k, (atom, coeff)) in parts.iter().enumerate() {
         if k > 0 {
             out.push('+');
         }
         out.push_str(&coeff.to_string());
         out.push('*');
-        emit_atom(atom, n, out);
+        out.push_str(atom);
     }
-    if e.terms.is_empty() || e.constant != 0 {
+    let c = if negate { -e.constant } else { e.constant };
+    if e.terms.is_empty() || c != 0 {
         out.push('+');
-        out.push_str(&e.constant.to_string());
+        out.push_str(&c.to_string());
+    }
+}
+
+/// Render one literal. The `=`/`≠` polarity is fixed by the smaller
+/// polarity hash under the final colors — invariant, deterministic, and
+/// computed without rendering the discarded polarity.
+fn ilit_str(l: &ILit, colors: &[u64], ranks: &[usize], out: &mut String) {
+    out.push(match l.rel {
+        0 => '=',
+        1 => '!',
+        _ => '<',
+    });
+    let negate = if l.rel == 2 {
+        false
+    } else {
+        let (pos, neg) = ilin_hash(&l.expr, colors, usize::MAX);
+        neg < pos
+    };
+    ilin_str(&l.expr, negate, ranks, out);
+}
+
+/// Render the clause set under final colors: literals sorted and
+/// deduplicated within each clause, clauses sorted and deduplicated
+/// across the set.
+fn render_key(q: &IQuery, colors: &[u64]) -> String {
+    let ranks = ranks_vec(q, colors);
+    let mut rendered: Vec<String> = q
+        .clauses
+        .iter()
+        .map(|clause| {
+            let mut lits: Vec<String> = clause
+                .iter()
+                .map(|l| {
+                    let mut s = String::new();
+                    ilit_str(l, colors, &ranks, &mut s);
+                    s
+                })
+                .collect();
+            lits.sort();
+            lits.dedup();
+            lits.join("|")
+        })
+        .collect();
+    rendered.sort();
+    rendered.dedup();
+    rendered.join(";")
+}
+
+/// Signature of a finished coloring: the sorted clause hashes computed
+/// under it (no occurrence marked). A pure function of structure and
+/// colors, so it is renaming-invariant, and far cheaper than rendering
+/// the clause set as a string.
+fn leaf_sig(q: &IQuery, colors: &[u64]) -> Vec<u64> {
+    let mut hs: Vec<u64> = q
+        .clauses
+        .iter()
+        .map(|c| iclause_hash(c, colors, usize::MAX))
+        .collect();
+    hs.sort_unstable();
+    hs
+}
+
+/// Individualization–refinement search: refine, and while a color class
+/// still holds several names (a symmetry the structure alone cannot
+/// break), individualize each member in turn and recurse. Finished
+/// colorings accumulate in `leaves`. `budget` bounds the branches
+/// explored; once exhausted, remaining ties break by original name —
+/// still deterministic and sound, merely no longer renaming-invariant,
+/// and reachable only on queries with very large automorphism groups.
+fn search_leaves(q: &IQuery, colors: Vec<u64>, budget: &mut usize, leaves: &mut Vec<Vec<u64>>) {
+    let colors = refine(q, colors);
+    let mut cells: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (id, c) in colors.iter().enumerate() {
+        cells.entry(*c).or_default().push(id);
+    }
+    if let Some(cell) = cells.values().find(|v| v.len() > 1) {
+        if *budget > 0 {
+            for &id in cell {
+                if *budget == 0 {
+                    break;
+                }
+                *budget -= 1;
+                let mut c2 = colors.clone();
+                c2[id] = mix(colors[id], 0x1D1D);
+                search_leaves(q, c2, budget, leaves);
+            }
+            // `*budget > 0` guaranteed at least one branch above.
+            return;
+        }
+    }
+    leaves.push(colors);
+}
+
+/// Minimal key over the explored leaves. The winner is chosen by the
+/// smallest leaf [signature](leaf_sig) — an invariant of the coloring —
+/// and only the winner is rendered to a string. Signature-tied leaves
+/// are automorphic images with identical renderings (up to the same
+/// astronomically-unlikely hash coincidences the refinement colors
+/// already rely on), so the first one stands for all of them.
+fn min_key(q: &IQuery, colors: Vec<u64>, budget: &mut usize) -> String {
+    let mut leaves = Vec::new();
+    search_leaves(q, colors, budget, &mut leaves);
+    let mut best: Option<(Vec<u64>, &Vec<u64>)> = None;
+    for leaf in &leaves {
+        let sig = leaf_sig(q, leaf);
+        match &best {
+            Some((b, _)) if *b <= sig => {}
+            _ => best = Some((sig, leaf)),
+        }
+    }
+    let (_, winner) = best.expect("search explores at least one leaf");
+    render_key(q, winner)
+}
+
+// --- Interning -------------------------------------------------------
+
+#[derive(Default)]
+struct Interner {
+    sym_ids: HashMap<String, usize>,
+    fn_ids: HashMap<String, usize>,
+}
+
+fn collect_names_lin(e: &CanonLin, syms: &mut Vec<String>, fns: &mut Vec<String>) {
+    for (a, _) in &e.terms {
+        match a {
+            CanonAtom::Sym(s) => syms.push(s.clone()),
+            CanonAtom::App(f, args) => {
+                fns.push(f.clone());
+                for arg in args {
+                    collect_names_lin(arg, syms, fns);
+                }
+            }
+            CanonAtom::Mul(a, b) | CanonAtom::Div(a, b) | CanonAtom::Mod(a, b) => {
+                collect_names_lin(a, syms, fns);
+                collect_names_lin(b, syms, fns);
+            }
+        }
+    }
+}
+
+fn intern_lin(e: &CanonLin, it: &Interner, nsyms: usize) -> ILin {
+    ILin {
+        terms: e
+            .terms
+            .iter()
+            .map(|(a, c)| {
+                let ia = match a {
+                    CanonAtom::Sym(s) => IAtom::Sym(it.sym_ids[s]),
+                    CanonAtom::App(f, args) => IAtom::App(
+                        nsyms + it.fn_ids[f],
+                        args.iter().map(|x| intern_lin(x, it, nsyms)).collect(),
+                    ),
+                    CanonAtom::Mul(a, b) => IAtom::Mul(
+                        Box::new(intern_lin(a, it, nsyms)),
+                        Box::new(intern_lin(b, it, nsyms)),
+                    ),
+                    CanonAtom::Div(a, b) => IAtom::Div(
+                        Box::new(intern_lin(a, it, nsyms)),
+                        Box::new(intern_lin(b, it, nsyms)),
+                    ),
+                    CanonAtom::Mod(a, b) => IAtom::Mod(
+                        Box::new(intern_lin(a, it, nsyms)),
+                        Box::new(intern_lin(b, it, nsyms)),
+                    ),
+                };
+                (ia, *c)
+            })
+            .collect(),
+        constant: e.constant,
+    }
+}
+
+fn ilin_names(e: &ILin, out: &mut Vec<usize>) {
+    for (a, _) in &e.terms {
+        match a {
+            IAtom::Sym(id) => out.push(*id),
+            IAtom::App(id, args) => {
+                out.push(*id);
+                for arg in args {
+                    ilin_names(arg, out);
+                }
+            }
+            IAtom::Mul(a, b) | IAtom::Div(a, b) | IAtom::Mod(a, b) => {
+                ilin_names(a, out);
+                ilin_names(b, out);
+            }
+        }
     }
 }
 
@@ -364,7 +745,8 @@ pub fn canonical_query_key<'a>(
     clauses: impl Iterator<Item = &'a Clause>,
     table: &AtomTable,
 ) -> String {
-    // Canonical structural form with original names.
+    // Structural form with original names; exact duplicates (same
+    // structure, same names) drop here so refinement never sees them.
     let mut cs: Vec<Vec<CanonLit>> = clauses
         .map(|c| {
             let mut lits: Vec<CanonLit> = c
@@ -379,26 +761,61 @@ pub fn canonical_query_key<'a>(
         .collect();
     cs.sort();
     cs.dedup();
-    // Rename in first-occurrence order over the sorted form and emit.
-    let mut n = Namer::default();
-    let mut out = String::new();
-    for (k, clause) in cs.iter().enumerate() {
-        if k > 0 {
-            out.push(';');
-        }
-        for (j, lit) in clause.iter().enumerate() {
-            if j > 0 {
-                out.push('|');
-            }
-            out.push(match lit.rel {
-                0 => '=',
-                1 => '!',
-                _ => '<',
-            });
-            emit_lin(&lit.expr, &mut n, &mut out);
+    // Intern names (deterministic id order; ids never leak into the key).
+    let (mut syms, mut fns) = (Vec::new(), Vec::new());
+    for clause in &cs {
+        for lit in clause {
+            collect_names_lin(&lit.expr, &mut syms, &mut fns);
         }
     }
-    out
+    syms.sort();
+    syms.dedup();
+    fns.sort();
+    fns.dedup();
+    let mut it = Interner::default();
+    for (i, s) in syms.iter().enumerate() {
+        it.sym_ids.insert(s.clone(), i);
+    }
+    for (i, f) in fns.iter().enumerate() {
+        it.fn_ids.insert(f.clone(), i);
+    }
+    let nsyms = syms.len();
+    let n = nsyms + fns.len();
+    let iclauses: Vec<Vec<ILit>> = cs
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|l| ILit {
+                    rel: l.rel,
+                    expr: intern_lin(&l.expr, &it, nsyms),
+                })
+                .collect()
+        })
+        .collect();
+    let mut incidence: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, clause) in iclauses.iter().enumerate() {
+        let mut ids = Vec::new();
+        for lit in clause {
+            ilin_names(&lit.expr, &mut ids);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            incidence[id].push(ci);
+        }
+    }
+    let q = IQuery {
+        clauses: iclauses,
+        incidence,
+        sym_names: syms,
+        fn_names: fns,
+    };
+    // Initial colors by kind only; refinement does the rest.
+    let mut colors = vec![0x57A_u64; nsyms];
+    colors.resize(n, 0xF17_u64);
+    let mut budget = 64usize;
+    min_key(&q, colors, &mut budget)
 }
 
 #[cfg(test)]
@@ -470,16 +887,30 @@ mod tests {
 
     #[test]
     fn le_is_not_sign_normalized() {
-        // a ≤ b and b ≤ a are different constraints.
+        // In isolation, a ≤ b and b ≤ a are each other's image under the
+        // renaming a↔b, so an invariant key collapses them (sound: the
+        // verdict is renaming-invariant too)...
+        let le = |x: &str, y: &str, t: &mut AtomTable| {
+            cnf_of(Formula::Lit(crate::formula::Literal::le(
+                crate::linexpr::normalize(&Term::sym(x), t).unwrap(),
+                crate::linexpr::normalize(&Term::sym(y), t).unwrap(),
+            )))
+        };
         let mut t = AtomTable::new();
-        let ab = cnf_of(Formula::Lit(crate::formula::Literal::le(
-            crate::linexpr::normalize(&Term::sym("a"), &mut t).unwrap(),
-            crate::linexpr::normalize(&Term::sym("b"), &mut t).unwrap(),
-        )));
-        let ba = cnf_of(Formula::Lit(crate::formula::Literal::le(
-            crate::linexpr::normalize(&Term::sym("b"), &mut t).unwrap(),
-            crate::linexpr::normalize(&Term::sym("a"), &mut t).unwrap(),
-        )));
+        assert_eq!(
+            key_of(&le("a", "b", &mut t), &t),
+            key_of(&le("b", "a", &mut t), &t)
+        );
+        // ...but the direction of ≤ is never lost *relative to the rest
+        // of the query*: once `a` is pinned by another assertion, the two
+        // orientations are genuinely different constraints.
+        let pin = cnf_of(
+            Formula::term_eq(&Term::sym("a"), &(Term::sym("c") + Term::sym("c")), &mut t).unwrap(),
+        );
+        let mut ab = le("a", "b", &mut t);
+        ab.extend(pin.clone());
+        let mut ba = le("b", "a", &mut t);
+        ba.extend(pin);
         assert_ne!(key_of(&ab, &t), key_of(&ba, &t));
     }
 

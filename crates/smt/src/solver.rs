@@ -81,6 +81,23 @@ impl SolverStats {
         self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
         self.cache_inserts = self.cache_inserts.saturating_add(other.cache_inserts);
     }
+
+    /// Counters accumulated since an earlier snapshot `since` of the same
+    /// solver, saturating at zero. Tracing uses this to attribute work
+    /// (LIA calls, branches, cache hits) to a single `check()`.
+    pub fn delta(&self, since: &SolverStats) -> SolverStats {
+        SolverStats {
+            checks: self.checks.saturating_sub(since.checks),
+            assertions_added: self.assertions_added.saturating_sub(since.assertions_added),
+            lia_calls: self.lia_calls.saturating_sub(since.lia_calls),
+            branches: self.branches.saturating_sub(since.branches),
+            unknowns: self.unknowns.saturating_sub(since.unknowns),
+            interrupts: self.interrupts.saturating_sub(since.interrupts),
+            cache_hits: self.cache_hits.saturating_sub(since.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(since.cache_misses),
+            cache_inserts: self.cache_inserts.saturating_sub(since.cache_inserts),
+        }
+    }
 }
 
 /// Work limits for a single `check()`.

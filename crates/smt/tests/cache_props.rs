@@ -1,0 +1,236 @@
+//! Property tests for the canonical proof-cache key.
+//!
+//! The cache is sound only if [`canonical_query_key`] is a *semantic*
+//! fingerprint of an assertion stack: invariant under bijective renaming
+//! of symbols and function names, clause order, duplicate literals and
+//! clauses — and different for queries that are not mere relabelings of
+//! each other. These properties are exercised here over randomly
+//! generated linear queries (the fragment the region analysis emits:
+//! equalities/disequalities over loop counters, constants, and
+//! uninterpreted index arrays).
+
+use formad_smt::{canonical_query_key, AtomTable, Clause, Formula, Term};
+use proptest::prelude::*;
+
+const NSYM: usize = 4;
+const NFUN: usize = 3;
+
+/// Abstract atom: a symbol, or an uninterpreted application `f(s + c)`.
+#[derive(Debug, Clone)]
+enum AbsAtom {
+    Sym(usize),
+    App(usize, usize, i64),
+}
+
+/// Abstract linear side: `base + coef·atom`.
+#[derive(Debug, Clone)]
+struct AbsSide {
+    base: i64,
+    coef: i64,
+    atom: AbsAtom,
+}
+
+/// Abstract literal: `lhs (=|≠) rhs`.
+#[derive(Debug, Clone)]
+struct AbsLit {
+    ne: bool,
+    lhs: AbsSide,
+    rhs: AbsSide,
+}
+
+fn abs_atom() -> impl Strategy<Value = AbsAtom> {
+    prop_oneof![
+        (0..NSYM).prop_map(AbsAtom::Sym),
+        (0..NFUN, 0..NSYM, -3i64..4).prop_map(|(f, s, c)| AbsAtom::App(f, s, c)),
+    ]
+}
+
+fn abs_side() -> impl Strategy<Value = AbsSide> {
+    (-5i64..6, -2i64..3, abs_atom()).prop_map(|(base, coef, atom)| AbsSide { base, coef, atom })
+}
+
+fn abs_lit() -> impl Strategy<Value = AbsLit> {
+    (0u8..2, abs_side(), abs_side()).prop_map(|(ne, lhs, rhs)| AbsLit {
+        ne: ne == 1,
+        lhs,
+        rhs,
+    })
+}
+
+fn query() -> impl Strategy<Value = Vec<AbsLit>> {
+    prop::collection::vec(abs_lit(), 1..8)
+}
+
+/// A random permutation of `0..n`, derived from a generated seed.
+fn perm(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    (0u64..u64::MAX).prop_map(move |seed| {
+        let mut v: Vec<usize> = (0..n).collect();
+        shuffle(&mut v, seed | 1);
+        v
+    })
+}
+
+fn term_of(side: &AbsSide, syms: &dyn Fn(usize) -> String, funs: &dyn Fn(usize) -> String) -> Term {
+    let atom = match &side.atom {
+        AbsAtom::Sym(s) => Term::sym(syms(*s)),
+        AbsAtom::App(f, s, c) => Term::app(funs(*f), vec![Term::sym(syms(*s)) + Term::int(*c)]),
+    };
+    Term::int(side.base) + Term::int(side.coef) * atom
+}
+
+/// Lower the abstract query to solver clauses under a concrete naming,
+/// optionally interning `noise` unrelated symbols first so raw atom ids
+/// differ between realizations.
+fn realize(
+    q: &[AbsLit],
+    syms: &dyn Fn(usize) -> String,
+    funs: &dyn Fn(usize) -> String,
+    noise: usize,
+) -> (Vec<Clause>, AtomTable) {
+    let mut table = AtomTable::new();
+    for k in 0..noise {
+        table.sym(&format!("noise{k}"));
+    }
+    let mut cs = Vec::new();
+    for lit in q {
+        let a = term_of(&lit.lhs, syms, funs);
+        let b = term_of(&lit.rhs, syms, funs);
+        let f = if lit.ne {
+            Formula::term_ne(&a, &b, &mut table)
+        } else {
+            Formula::term_eq(&a, &b, &mut table)
+        }
+        .expect("linear literal normalizes");
+        cs.extend(f.to_cnf());
+    }
+    (cs, table)
+}
+
+fn key_of(cs: &[Clause], table: &AtomTable) -> String {
+    canonical_query_key(cs.iter(), table)
+}
+
+/// Tiny deterministic shuffler (xorshift Fisher–Yates) so clause-order
+/// properties need no extra dev-dependency.
+fn shuffle<T>(v: &mut [T], mut seed: u64) {
+    for i in (1..v.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        v.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+proptest! {
+    /// Bijective renaming of symbols and function names — plus unrelated
+    /// symbols interned first, so raw `AtomId`s shift — leaves the key
+    /// unchanged.
+    #[test]
+    fn key_invariant_under_renaming(
+        q in query(),
+        sp in perm(NSYM),
+        fp in perm(NFUN),
+        noise in 0usize..4,
+    ) {
+        let (cs1, t1) = realize(&q, &|s| format!("s{s}"), &|f| format!("f{f}"), 0);
+        let (cs2, t2) = realize(
+            &q,
+            &|s| format!("renamed{}", sp[s]),
+            &|f| format!("gfun{}", fp[f]),
+            noise,
+        );
+        prop_assert_eq!(key_of(&cs1, &t1), key_of(&cs2, &t2));
+    }
+
+    /// Clause order and duplicate clauses do not change the key.
+    #[test]
+    fn key_invariant_under_permutation_and_duplicates(
+        q in query(),
+        seed in 0u64..u64::MAX,
+        dup in 0usize..64,
+    ) {
+        let (cs, t) = realize(&q, &|s| format!("s{s}"), &|f| format!("f{f}"), 0);
+        // Trivially-true literals lower to no clauses at all; duplication
+        // needs at least one clause to copy.
+        prop_assume!(!cs.is_empty());
+        let reference = key_of(&cs, &t);
+
+        let mut shuffled = cs.clone();
+        shuffle(&mut shuffled, seed | 1);
+        prop_assert_eq!(key_of(&shuffled, &t), reference.clone());
+
+        let mut duplicated = cs.clone();
+        duplicated.push(cs[dup % cs.len()].clone());
+        shuffle(&mut duplicated, seed.rotate_left(17) | 1);
+        prop_assert_eq!(key_of(&duplicated, &t), reference);
+    }
+
+    /// A genuinely new assertion — over a function name the query never
+    /// mentions — always changes the key (no set-collapse under the
+    /// canonical renaming).
+    #[test]
+    fn key_distinguishes_extra_assertion(q in query(), s in 0..NSYM) {
+        let syms = |k: usize| format!("s{k}");
+        let funs = |k: usize| format!("f{k}");
+        let (cs, t) = realize(&q, &syms, &funs, 0);
+
+        // `fresh(x_s) = 7`: a clause no renaming can map onto an existing
+        // one (the query never mentions `fresh`), and one that cannot
+        // degenerate to a trivial literal.
+        let mut q2 = q.clone();
+        q2.push(AbsLit {
+            ne: false,
+            lhs: AbsSide { base: 0, coef: 1, atom: AbsAtom::App(NFUN, s, 0) },
+            rhs: AbsSide { base: 7, coef: 0, atom: AbsAtom::Sym(s) },
+        });
+        // Index NFUN is outside the generator's range: a fresh name.
+        let funs2 = |k: usize| if k == NFUN { "fresh".to_string() } else { format!("f{k}") };
+        let (cs2, t2) = realize(&q2, &syms, &funs2, 0);
+        prop_assert_ne!(key_of(&cs, &t), key_of(&cs2, &t2));
+    }
+
+    /// Polarity is semantic: `a = b + k` and `a ≠ b + k` never share a
+    /// key, and shifting the constant offset changes the key.
+    #[test]
+    fn key_distinguishes_polarity_and_offset(k in -10i64..10) {
+        let mut t = AtomTable::new();
+        let a = Term::sym("a");
+        let bk = Term::sym("b") + Term::int(k);
+        let eq = Formula::term_eq(&a, &bk, &mut t).unwrap().to_cnf();
+        let ne = Formula::term_ne(&a, &bk, &mut t).unwrap().to_cnf();
+        let shifted = Formula::term_eq(&a, &(Term::sym("b") + Term::int(k + 1)), &mut t)
+            .unwrap()
+            .to_cnf();
+        prop_assert_ne!(key_of(&eq, &t), key_of(&ne, &t));
+        prop_assert_ne!(key_of(&eq, &t), key_of(&shifted, &t));
+    }
+
+    /// Congruence queries over index arrays (the analysis' bread and
+    /// butter): `c(i) = c(i')` keys identically under renaming to
+    /// `d(j) = d(j')`, and differently from `c(i) = c(i' + 1)`.
+    #[test]
+    fn key_on_index_array_queries(off in 1i64..5) {
+        let pair = |f: &str, x: &str, y: &str, shift: i64, t: &mut AtomTable| {
+            let mut cs = Formula::term_ne(&Term::sym(x), &Term::sym(y), t).unwrap().to_cnf();
+            cs.extend(
+                Formula::term_eq(
+                    &Term::app(f, vec![Term::sym(x)]),
+                    &Term::app(f, vec![Term::sym(y) + Term::int(shift)]),
+                    t,
+                )
+                .unwrap()
+                .to_cnf(),
+            );
+            cs
+        };
+        let mut t1 = AtomTable::new();
+        let c1 = pair("c", "i", "i'", 0, &mut t1);
+        let mut t2 = AtomTable::new();
+        t2.sym("padding");
+        let c2 = pair("d", "j", "j'", 0, &mut t2);
+        let mut t3 = AtomTable::new();
+        let c3 = pair("c", "i", "i'", off, &mut t3);
+        prop_assert_eq!(key_of(&c1, &t1), key_of(&c2, &t2));
+        prop_assert_ne!(key_of(&c1, &t1), key_of(&c3, &t3));
+    }
+}
