@@ -185,6 +185,14 @@ fn bench_prover(rest: &[String]) {
          (jobs={jobs}, cache {} hits / {} misses) → speedup {:.2}×; wrote {out}",
         r.baseline_s, r.optimized_s, r.cache_hits, r.cache_misses, r.speedup
     );
+    eprintln!(
+        "bench-prover: cdcl {} vs legacy {} lia calls per pass ({:.1}× fewer), \
+         cores agree: {}",
+        r.lia_calls_per_pass,
+        r.legacy_lia_calls_per_pass,
+        r.legacy_lia_calls_per_pass as f64 / (r.lia_calls_per_pass as f64).max(1.0),
+        r.search_cores_agree
+    );
     // One traced pass attributes where the time goes per phase; written
     // next to the main record so regressions can be localized.
     let phases_out = match out.strip_suffix(".json") {

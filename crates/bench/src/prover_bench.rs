@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use formad::{CacheAttr, Decision, Formad, FormadOptions, TraceEvent, TraceSink};
+use formad::{CacheAttr, Decision, Formad, FormadOptions, SearchCore, TraceEvent, TraceSink};
 use formad_ir::Program;
 use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
 use formad_smt::{ProofCache, SolverStats};
@@ -94,6 +94,7 @@ fn run_suite_once(
     kernels: &[SuiteKernel],
     jobs: usize,
     cache: &Option<ProofCache>,
+    core: SearchCore,
 ) -> (Duration, SolverStats, Verdicts) {
     let mut stats = SolverStats::default();
     let mut verdicts = Verdicts::new();
@@ -104,6 +105,7 @@ fn run_suite_once(
         let mut opts = FormadOptions::new(&indep, &dep);
         opts.region.jobs = jobs;
         opts.region.cache = cache.clone();
+        opts.region.search_core = core;
         let a = Formad::new(opts).analyze(&k.program).expect("analysis");
         stats.merge(&a.stats);
         for (ri, region) in a.regions.iter().enumerate() {
@@ -145,6 +147,23 @@ pub struct ProverBenchResult {
     pub queries_per_pass: u64,
     /// True when every per-array verdict agreed between configurations.
     pub verdicts_agree: bool,
+    /// True when the legacy enumerate-and-split core reproduced every
+    /// per-array verdict of the CDCL core on an uncached sequential pass.
+    pub search_cores_agree: bool,
+    /// Linear-feasibility core calls of one uncached CDCL suite pass.
+    pub lia_calls_per_pass: u64,
+    /// Same measurement under the legacy core (the old cost of the suite).
+    pub legacy_lia_calls_per_pass: u64,
+    /// Watched-literal unit propagations per uncached CDCL pass.
+    pub propagations_per_pass: u64,
+    /// Conflicts analyzed per uncached CDCL pass.
+    pub conflicts_per_pass: u64,
+    /// Clauses learned per uncached CDCL pass.
+    pub learned_clauses_per_pass: u64,
+    /// Restarts per uncached CDCL pass.
+    pub restarts_per_pass: u64,
+    /// Queries fully discharged by presolve per uncached CDCL pass.
+    pub presolve_discharges_per_pass: u64,
 }
 
 /// Run the benchmark: `iters` suite passes sequential-uncached, then
@@ -159,11 +178,11 @@ pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
 
     let mut baseline_iter_s = Vec::with_capacity(iters);
     let mut baseline_verdicts = None;
-    let mut queries_per_pass = 0;
+    let mut pass_stats = SolverStats::default();
     for _ in 0..iters {
-        let (t, stats, v) = run_suite_once(&kernels, 1, &None);
+        let (t, stats, v) = run_suite_once(&kernels, 1, &None, SearchCore::Cdcl);
         baseline_iter_s.push(t.as_secs_f64());
-        queries_per_pass = stats.checks;
+        pass_stats = stats;
         baseline_verdicts = Some(v);
     }
 
@@ -174,13 +193,19 @@ pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
     let mut misses = 0;
     let mut inserts = 0;
     for _ in 0..iters {
-        let (t, stats, v) = run_suite_once(&kernels, jobs, &shared);
+        let (t, stats, v) = run_suite_once(&kernels, jobs, &shared, SearchCore::Cdcl);
         optimized_iter_s.push(t.as_secs_f64());
         hits += stats.cache_hits;
         misses += stats.cache_misses;
         inserts += stats.cache_inserts;
         optimized_verdicts = Some(v);
     }
+
+    // Differential oracle: one uncached sequential pass under the legacy
+    // enumerate-and-split core. The CDCL core is an accelerator, not a
+    // different theory — a verdict flip on Table 1 is a soundness bug and
+    // aborts the benchmark (the CI smoke run relies on this).
+    let (_, legacy_stats, legacy_verdicts) = run_suite_once(&kernels, 1, &None, SearchCore::Legacy);
 
     let baseline_verdicts = baseline_verdicts.expect("baseline ran");
     let optimized_verdicts = optimized_verdicts.expect("optimized ran");
@@ -189,6 +214,12 @@ pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
         verdicts_agree,
         "verdicts diverged between configurations:\n  baseline  {baseline_verdicts:?}\n  \
          optimized {optimized_verdicts:?}"
+    );
+    let search_cores_agree = baseline_verdicts == legacy_verdicts;
+    assert!(
+        search_cores_agree,
+        "verdicts diverged between search cores:\n  cdcl   {baseline_verdicts:?}\n  \
+         legacy {legacy_verdicts:?}"
     );
 
     let baseline_s: f64 = baseline_iter_s.iter().sum();
@@ -204,8 +235,16 @@ pub fn prover_bench(iters: usize, jobs: usize) -> ProverBenchResult {
         cache_hits: hits,
         cache_misses: misses,
         cache_inserts: inserts,
-        queries_per_pass,
+        queries_per_pass: pass_stats.checks,
         verdicts_agree,
+        search_cores_agree,
+        lia_calls_per_pass: pass_stats.lia_calls,
+        legacy_lia_calls_per_pass: legacy_stats.lia_calls,
+        propagations_per_pass: pass_stats.propagations,
+        conflicts_per_pass: pass_stats.conflicts,
+        learned_clauses_per_pass: pass_stats.learned_clauses,
+        restarts_per_pass: pass_stats.restarts,
+        presolve_discharges_per_pass: pass_stats.presolve_discharges,
     }
 }
 
@@ -251,6 +290,24 @@ pub struct ProverPhasesResult {
     pub lia_calls: u64,
     /// Branch nodes explored across all queries.
     pub branches: u64,
+    /// Watched-literal unit propagations across all queries.
+    pub propagations: u64,
+    /// Conflicts analyzed across all queries.
+    pub conflicts: u64,
+    /// Distribution of `lia_calls` over cache-miss queries (hits cost
+    /// zero): median, 90th percentile, and maximum.
+    pub miss_lia_p50: u64,
+    pub miss_lia_p90: u64,
+    pub miss_lia_max: u64,
+}
+
+/// `p`-th percentile (nearest-rank) of an unsorted sample; 0 when empty.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * p).div_ceil(100).max(1);
+    sorted[rank - 1]
 }
 
 /// Analyze the suite once with tracing on (shared cache, `jobs` workers)
@@ -271,7 +328,13 @@ pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
         query_misses: 0,
         lia_calls: 0,
         branches: 0,
+        propagations: 0,
+        conflicts: 0,
+        miss_lia_p50: 0,
+        miss_lia_p90: 0,
+        miss_lia_max: 0,
     };
+    let mut miss_lia: Vec<u64> = Vec::new();
     let start = Instant::now();
     for k in kernels {
         let indep: Vec<&str> = k.independents.iter().map(|s| s.as_str()).collect();
@@ -280,6 +343,7 @@ pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
         let mut opts = FormadOptions::new(&indep, &dep);
         opts.region.jobs = jobs;
         opts.region.cache = cache.clone();
+        opts.region.search_core = SearchCore::Cdcl;
         opts.region.trace = Some(sink.clone());
         Formad::new(opts).analyze(&k.program).expect("analysis");
         for e in sink.snapshot() {
@@ -300,6 +364,8 @@ pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
                     r.queries += 1;
                     r.lia_calls += perf.lia_calls;
                     r.branches += perf.branches;
+                    r.propagations += perf.propagations;
+                    r.conflicts += perf.conflicts;
                     match perf.cache {
                         CacheAttr::Hit => {
                             r.query_hit_s += s;
@@ -308,6 +374,7 @@ pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
                         CacheAttr::Miss => {
                             r.query_miss_s += s;
                             r.query_misses += 1;
+                            miss_lia.push(perf.lia_calls);
                         }
                         CacheAttr::Off => {}
                     }
@@ -317,6 +384,10 @@ pub fn prover_phases(jobs: usize) -> ProverPhasesResult {
         }
     }
     r.wall_s = start.elapsed().as_secs_f64();
+    miss_lia.sort_unstable();
+    r.miss_lia_p50 = percentile(&miss_lia, 50);
+    r.miss_lia_p90 = percentile(&miss_lia, 90);
+    r.miss_lia_max = miss_lia.last().copied().unwrap_or(0);
     r.phases = phases
         .into_iter()
         .map(|(phase, (total_s, events))| PhaseAttribution {
@@ -346,7 +417,10 @@ pub fn prover_phases_json(r: &ProverPhasesResult) -> String {
          \"query_s\": {:.6},\n  \"queries\": {},\n  \
          \"query_hit_s\": {:.6},\n  \"query_hits\": {},\n  \
          \"query_miss_s\": {:.6},\n  \"query_misses\": {},\n  \
-         \"lia_calls\": {},\n  \"branches\": {}\n}}\n",
+         \"lia_calls\": {},\n  \"branches\": {},\n  \
+         \"propagations\": {},\n  \"conflicts\": {},\n  \
+         \"miss_lia_p50\": {},\n  \"miss_lia_p90\": {},\n  \
+         \"miss_lia_max\": {}\n}}\n",
         r.jobs,
         r.wall_s,
         phases.join(",\n"),
@@ -358,6 +432,11 @@ pub fn prover_phases_json(r: &ProverPhasesResult) -> String {
         r.query_misses,
         r.lia_calls,
         r.branches,
+        r.propagations,
+        r.conflicts,
+        r.miss_lia_p50,
+        r.miss_lia_p90,
+        r.miss_lia_max,
     )
 }
 
@@ -376,7 +455,11 @@ pub fn prover_bench_json(r: &ProverBenchResult) -> String {
          \"baseline_iter_s\": {},\n  \"optimized_iter_s\": {},\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"cache_inserts\": {},\n  \"queries_per_pass\": {},\n  \
-         \"verdicts_agree\": {}\n}}\n",
+         \"verdicts_agree\": {},\n  \"search_cores_agree\": {},\n  \
+         \"lia_calls_per_pass\": {},\n  \"legacy_lia_calls_per_pass\": {},\n  \
+         \"propagations_per_pass\": {},\n  \"conflicts_per_pass\": {},\n  \
+         \"learned_clauses_per_pass\": {},\n  \"restarts_per_pass\": {},\n  \
+         \"presolve_discharges_per_pass\": {}\n}}\n",
         r.iters,
         r.jobs,
         r.baseline_s,
@@ -389,6 +472,14 @@ pub fn prover_bench_json(r: &ProverBenchResult) -> String {
         r.cache_inserts,
         r.queries_per_pass,
         r.verdicts_agree,
+        r.search_cores_agree,
+        r.lia_calls_per_pass,
+        r.legacy_lia_calls_per_pass,
+        r.propagations_per_pass,
+        r.conflicts_per_pass,
+        r.learned_clauses_per_pass,
+        r.restarts_per_pass,
+        r.presolve_discharges_per_pass,
     )
 }
 
@@ -400,10 +491,28 @@ mod tests {
     fn bench_runs_and_verdicts_agree() {
         let r = prover_bench(2, 2);
         assert!(r.verdicts_agree);
+        assert!(r.search_cores_agree, "cdcl and legacy cores diverged");
         assert!(r.queries_per_pass > 0);
         // The second cached pass must answer queries from the cache.
         assert!(r.cache_hits > 0, "no cache hits across {} passes", r.iters);
         assert!(r.baseline_s > 0.0 && r.optimized_s > 0.0);
+        // The CDCL core must do strictly less linear-arithmetic work than
+        // the legacy splitter on the same suite — that is its entire point.
+        assert!(
+            r.lia_calls_per_pass < r.legacy_lia_calls_per_pass,
+            "cdcl {} vs legacy {} lia calls",
+            r.lia_calls_per_pass,
+            r.legacy_lia_calls_per_pass
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 90), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4, 100], 90), 100);
     }
 
     #[test]
@@ -440,12 +549,22 @@ mod tests {
             cache_inserts: 5,
             queries_per_pass: 15,
             verdicts_agree: true,
+            search_cores_agree: true,
+            lia_calls_per_pass: 40,
+            legacy_lia_calls_per_pass: 400,
+            propagations_per_pass: 30,
+            conflicts_per_pass: 2,
+            learned_clauses_per_pass: 2,
+            restarts_per_pass: 0,
+            presolve_discharges_per_pass: 9,
         };
         let j = prover_bench_json(&r);
         assert!(j.starts_with("{\n"));
         assert!(j.ends_with("}\n"));
         assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.contains("\"optimized_iter_s\": [0.250000]"));
+        assert!(j.contains("\"search_cores_agree\": true"));
+        assert!(j.contains("\"legacy_lia_calls_per_pass\": 400"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

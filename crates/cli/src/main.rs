@@ -27,6 +27,11 @@
 //!                      every value
 //!   --no-cache         disable the canonical proof cache (useful for
 //!                      benchmarking; verdicts are unaffected)
+//!   --search-core CORE cdcl (default) | legacy — SMT search engine;
+//!                      legacy keeps the original enumerate-and-split
+//!                      core as a differential oracle. Verdicts, reports
+//!                      and traces are byte-identical for both (the
+//!                      FORMAD_SEARCH_CORE env var sets the default)
 //!   --trace PATH       write the structured proof trace (versioned JSON,
 //!                      schema formad-trace/v1) to PATH; its `events`
 //!                      section is byte-identical across --jobs and cache
@@ -47,7 +52,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use formad::{
-    Deadline, Formad, FormadErrorKind, FormadOptions, IncMode, ParallelTreatment, TraceSink,
+    Deadline, Formad, FormadErrorKind, FormadOptions, IncMode, ParallelTreatment, SearchCore,
+    TraceSink,
 };
 use formad_ir::{parse_any, program_to_clike, program_to_string};
 
@@ -81,6 +87,9 @@ struct Args {
     jobs: usize,
     cache: bool,
     trace: Option<String>,
+    /// `None` keeps the `RegionOptions` default (`FORMAD_SEARCH_CORE` or
+    /// the built-in CDCL core).
+    search_core: Option<SearchCore>,
 }
 
 fn usage() -> ExitCode {
@@ -90,7 +99,7 @@ fn usage() -> ExitCode {
          [--mode formad|serial|atomic|reduction] [--no-stride] \
          [--no-contexts] [--no-increment] [--table1 NAME] \
          [--prover-timeout-ms N] [--deadline-ms N] [--jobs N] [--no-cache] \
-         [--trace PATH]"
+         [--search-core cdcl|legacy] [--trace PATH]"
     );
     ExitCode::from(2)
 }
@@ -116,6 +125,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         jobs: 0,
         cache: true,
         trace: None,
+        search_core: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut k = 0;
@@ -188,6 +198,17 @@ fn parse_args() -> Result<Args, ExitCode> {
                     }
                 }
             }
+            "--search-core" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match SearchCore::parse(raw) {
+                    Some(core) => args.search_core = Some(core),
+                    None => {
+                        eprintln!("--search-core expects `cdcl` or `legacy`, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
+            }
             "--no-cache" => args.cache = false,
             "--no-stride" => args.stride = false,
             "--no-contexts" => args.contexts = false,
@@ -226,6 +247,23 @@ fn cache_diag(a: &formad::FormadAnalysis, cache_enabled: bool) {
     eprintln!(
         "formad: prover cache: {} hits / {} misses / {} inserts",
         s.cache_hits, s.cache_misses, s.cache_inserts
+    );
+}
+
+/// One stderr line of search-core work counters (scrapeable like
+/// [`cache_diag`]; the report itself never contains perf numbers).
+fn search_diag(a: &formad::FormadAnalysis, core: SearchCore) {
+    let s = &a.stats;
+    eprintln!(
+        "formad: search core {}: {} propagations / {} conflicts / {} learned ({} lits) / \
+         {} restarts / {} presolve discharges",
+        core.label(),
+        s.propagations,
+        s.conflicts,
+        s.learned_clauses,
+        s.learned_literals,
+        s.restarts,
+        s.presolve_discharges
     );
 }
 
@@ -307,6 +345,9 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     opts.region.prover_timeout = args.prover_timeout;
     opts.region.deadline = args.deadline_ms.map(Deadline::in_ms);
     opts.region.jobs = args.jobs;
+    if let Some(core) = args.search_core {
+        opts.region.search_core = core;
+    }
     if !args.cache {
         opts.region.cache = None;
     }
@@ -314,6 +355,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     // only when `--trace` asks for it.
     let sink = (args.trace.is_some() || args.command == "explain").then(TraceSink::new);
     opts.region.trace = sink.clone();
+    let core = opts.region.search_core;
     let tool = Formad::new(opts);
 
     match args.command.as_str() {
@@ -326,6 +368,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                 }
             };
             cache_diag(&a, args.cache);
+            search_diag(&a, core);
             match &args.table1 {
                 Some(name) => {
                     println!("{}", formad::table1_header());
@@ -347,6 +390,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                 }
             };
             cache_diag(&a, args.cache);
+            search_diag(&a, core);
             let events = sink.as_ref().map(TraceSink::snapshot).unwrap_or_default();
             print!("{}", formad::explain(&events, args.array.as_deref()));
             if let Err(c) = write_trace(args, &sink) {
@@ -369,6 +413,7 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
                 None => match tool.differentiate(primal) {
                     Ok(r) => {
                         cache_diag(&r.analysis, args.cache);
+                        search_diag(&r.analysis, core);
                         eprint!("{}", formad::full_report(&primal.name, &r.analysis));
                         r.adjoint
                     }

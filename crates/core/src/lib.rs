@@ -43,7 +43,7 @@ pub mod trace;
 pub mod translate;
 
 pub use formad_ad::{IncMode, ParallelTreatment};
-pub use formad_smt::Deadline;
+pub use formad_smt::{Deadline, SearchCore};
 pub use pipeline::{
     DiffResult, Formad, FormadAnalysis, FormadError, FormadErrorKind, FormadOptions,
 };

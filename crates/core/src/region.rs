@@ -41,7 +41,7 @@ use formad_analysis::{
 use formad_ir::{count_stmts, Expr, ForLoop, Program, Stmt, Ty};
 use formad_smt::{
     CancelToken, ChaosConfig, ChaosSolver, Deadline, Formula, InternedFormula, ProofCache,
-    SatResult, Solver, SolverApi, SolverBudget, SolverStats, StopReason, Term,
+    SatResult, SearchCore, Solver, SolverApi, SolverBudget, SolverStats, StopReason, Term,
 };
 
 use crate::trace::{CacheAttr, QueryPerf, TraceEvent, TraceSink};
@@ -186,6 +186,11 @@ pub struct RegionOptions {
     /// buffered and merged in candidate order, so the recorded stream is
     /// identical for every `jobs` value and cache setting).
     pub trace: Option<TraceSink>,
+    /// Which SMT search core answers the per-array queries. `Cdcl` (the
+    /// default) is the watched-literal CDCL(T) engine with presolve;
+    /// `Legacy` is the original enumerate-and-split core, kept as a
+    /// differential oracle. Verdicts and reports are identical for both.
+    pub search_core: SearchCore,
 }
 
 impl Default for RegionOptions {
@@ -204,6 +209,7 @@ impl Default for RegionOptions {
             cache: Some(ProofCache::new()),
             deadline: None,
             trace: None,
+            search_core: SearchCore::from_env(),
         }
     }
 }
@@ -277,6 +283,7 @@ pub fn analyze_region_with<S: SolverApi + Send>(
     let info = l.parallel.as_ref().expect("parallel region");
 
     solver.set_budget(opts.budget);
+    solver.set_search_core(opts.search_core);
     solver.set_timeout(opts.prover_timeout);
     if let Some(token) = &opts.cancel {
         solver.set_cancel_token(token.clone());
@@ -1111,6 +1118,8 @@ fn prove_array<S: SolverApi>(
                         dur_us: t0.elapsed().as_micros() as u64,
                         lia_calls: d.lia_calls,
                         branches: d.branches,
+                        propagations: d.propagations,
+                        conflicts: d.conflicts,
                         cache,
                     },
                 });

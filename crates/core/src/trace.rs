@@ -41,6 +41,10 @@ pub struct QueryPerf {
     pub lia_calls: u64,
     /// Branch nodes explored by this query.
     pub branches: u64,
+    /// Watched-literal unit propagations (0 under the legacy core).
+    pub propagations: u64,
+    /// Theory/boolean conflicts analyzed (0 under the legacy core).
+    pub conflicts: u64,
     /// `"hit"` / `"miss"` when a proof cache was consulted, `"off"`
     /// otherwise.
     pub cache: CacheAttr,
@@ -376,6 +380,8 @@ impl TraceEvent {
                 o.num("dur_us", perf.dur_us);
                 o.num("lia_calls", perf.lia_calls);
                 o.num("branches", perf.branches);
+                o.num("propagations", perf.propagations);
+                o.num("conflicts", perf.conflicts);
                 o.str("cache", perf.cache.label());
                 Some(o.finish())
             }
@@ -1174,6 +1180,8 @@ mod tests {
                     dur_us: 7,
                     lia_calls: 3,
                     branches: 1,
+                    propagations: 0,
+                    conflicts: 0,
                     cache: CacheAttr::Miss,
                 },
             },

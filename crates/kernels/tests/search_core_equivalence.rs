@@ -1,0 +1,156 @@
+//! Cross-core equivalence contract: the CDCL(T) search engine is a pure
+//! accelerator over the legacy enumerate-and-split core. On the whole
+//! Table-1 suite, every report byte (wall-clock zeroed), every proof
+//! narrative, and every deterministic trace section must be identical
+//! under `--search-core cdcl` and `--search-core legacy`, for any job
+//! count and cache setting — while the CDCL core does strictly less
+//! linear-arithmetic work.
+
+use std::time::Duration;
+
+use formad::{
+    deterministic_json, explain, region_report, Formad, FormadAnalysis, FormadOptions, SearchCore,
+    TraceSink,
+};
+use formad_ir::Program;
+use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+use formad_smt::ProofCache;
+
+/// The paper's Table-1 kernel suite at analysis-relevant sizes.
+fn suite() -> Vec<(&'static str, Program, Vec<&'static str>, Vec<&'static str>)> {
+    let gf = GfmcCase::new(8, 1);
+    vec![
+        (
+            "stencil1",
+            StencilCase::small(32, 1).ir(),
+            StencilCase::independents().to_vec(),
+            StencilCase::dependents().to_vec(),
+        ),
+        (
+            "stencil8",
+            StencilCase::large(64, 1).ir(),
+            StencilCase::independents().to_vec(),
+            StencilCase::dependents().to_vec(),
+        ),
+        (
+            "gfmc",
+            gf.ir(),
+            GfmcCase::independents().to_vec(),
+            GfmcCase::dependents().to_vec(),
+        ),
+        (
+            "gfmc*",
+            gf.ir_star(),
+            GfmcCase::independents().to_vec(),
+            GfmcCase::dependents().to_vec(),
+        ),
+        (
+            "lbm",
+            lbm::lbm_ir(),
+            lbm::independents().to_vec(),
+            lbm::dependents().to_vec(),
+        ),
+        (
+            "greengauss",
+            GreenGaussCase::linear(24, 1).ir(),
+            GreenGaussCase::independents().to_vec(),
+            GreenGaussCase::dependents().to_vec(),
+        ),
+    ]
+}
+
+/// Full textual fingerprint of an analysis: every region report with the
+/// wall-clock (the only nondeterministic field) zeroed.
+fn fingerprint(a: &mut FormadAnalysis) -> String {
+    let mut s = String::new();
+    for r in &mut a.regions {
+        r.time = Duration::ZERO;
+        s.push_str(&region_report(r));
+        s.push('\n');
+    }
+    s
+}
+
+fn analyze_with(
+    program: &Program,
+    indep: &[&str],
+    dep: &[&str],
+    configure: impl FnOnce(&mut FormadOptions),
+) -> FormadAnalysis {
+    let mut opts = FormadOptions::new(indep, dep);
+    configure(&mut opts);
+    Formad::new(opts).analyze(program).expect("analysis")
+}
+
+#[test]
+fn reports_identical_across_cores_jobs_and_cache() {
+    for (name, program, indep, dep) in suite() {
+        let run = |core: SearchCore, jobs: usize, cache: bool| {
+            let mut a = analyze_with(&program, &indep, &dep, |o| {
+                o.region.search_core = core;
+                o.region.jobs = jobs;
+                o.region.cache = cache.then(ProofCache::new);
+            });
+            fingerprint(&mut a)
+        };
+        let reference = run(SearchCore::Cdcl, 1, false);
+        for jobs in [1, 4] {
+            for cache in [false, true] {
+                for core in [SearchCore::Cdcl, SearchCore::Legacy] {
+                    assert_eq!(
+                        reference,
+                        run(core, jobs, cache),
+                        "{name}: report differs under core={core:?} jobs={jobs} cache={cache}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_and_trace_identical_across_cores() {
+    for (name, program, indep, dep) in suite() {
+        let run = |core: SearchCore| {
+            let sink = TraceSink::new();
+            let _ = analyze_with(&program, &indep, &dep, |o| {
+                o.region.search_core = core;
+                o.region.trace = Some(sink.clone());
+            });
+            let events = sink.snapshot();
+            (explain(&events, None), deterministic_json(&events))
+        };
+        let (cdcl_explain, cdcl_trace) = run(SearchCore::Cdcl);
+        let (legacy_explain, legacy_trace) = run(SearchCore::Legacy);
+        assert_eq!(
+            cdcl_explain, legacy_explain,
+            "{name}: explain narrative differs between search cores"
+        );
+        assert_eq!(
+            cdcl_trace, legacy_trace,
+            "{name}: deterministic trace section differs between search cores"
+        );
+    }
+}
+
+#[test]
+fn cdcl_does_less_linear_arithmetic_work() {
+    let mut cdcl_lia = 0u64;
+    let mut legacy_lia = 0u64;
+    for (_, program, indep, dep) in suite() {
+        let run = |core: SearchCore| {
+            analyze_with(&program, &indep, &dep, |o| {
+                o.region.search_core = core;
+                o.region.cache = None;
+            })
+            .stats
+            .lia_calls
+        };
+        cdcl_lia += run(SearchCore::Cdcl);
+        legacy_lia += run(SearchCore::Legacy);
+    }
+    assert!(
+        cdcl_lia < legacy_lia,
+        "cdcl made {cdcl_lia} lia calls vs legacy {legacy_lia}; the new core must be cheaper"
+    );
+}

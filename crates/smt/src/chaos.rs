@@ -18,6 +18,7 @@ use crate::cache::ProofCache;
 use crate::ctrl::{CancelToken, Deadline, StopReason};
 use crate::formula::Formula;
 use crate::linexpr::AtomTable;
+use crate::search::SearchCore;
 use crate::solver::{InternedFormula, SatResult, Solver, SolverApi, SolverBudget, SolverStats};
 
 /// Fault probabilities (per 1000 `check()` calls) and the deterministic
@@ -210,6 +211,9 @@ impl SolverApi for ChaosSolver {
     }
     fn set_cache(&mut self, cache: Option<ProofCache>) {
         self.inner.set_cache(cache);
+    }
+    fn set_search_core(&mut self, core: SearchCore) {
+        self.inner.set_search_core(core);
     }
     /// Fork with a salted fault stream: the wrapped solver is forked as
     /// usual, the chaos RNG is reseeded from `(seed, salt)` so each fork

@@ -48,6 +48,7 @@ pub mod ctrl;
 pub mod fm;
 pub mod formula;
 pub mod linexpr;
+pub mod search;
 pub mod solver;
 pub mod term;
 
@@ -57,5 +58,6 @@ pub use ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
 pub use fm::{feasible, feasible_paced, Feasibility, FmBudget};
 pub use formula::{Clause, Formula, Literal, Rel};
 pub use linexpr::{normalize, AtomId, AtomKey, AtomTable, LinExpr, NormalizeError};
+pub use search::SearchCore;
 pub use solver::{InternedFormula, SatResult, Solver, SolverApi, SolverBudget, SolverStats};
 pub use term::Term;

@@ -1,0 +1,141 @@
+//! Search cores for `Solver::check()`.
+//!
+//! Two interchangeable engines solve the same problem — "is this CNF over
+//! linear-integer literals satisfiable?" — behind one entry point:
+//!
+//! * [`SearchCore::Cdcl`] (default): a CDCL(T)-style engine — presolve
+//!   ([`presolve`]), boolean abstraction with two-watched-literal unit
+//!   propagation and a trail, theory checks through the Fourier–Motzkin
+//!   core with *minimized conflict explanations*, 1UIP learning with
+//!   non-chronological backjumping, VSIDS-lite decisions, Luby restarts
+//!   ([`cdcl`]).
+//! * [`SearchCore::Legacy`]: the original enumerate-and-split search
+//!   ([`legacy`]), kept verbatim as a differential-testing oracle.
+//!
+//! Both cores are deterministic — no RNG, ties broken by atom/variable
+//! id — so verdicts, reports, and the deterministic trace section are
+//! byte-identical across `--jobs`, cache settings, and (by the
+//! verdict-preserving design, validated by the differential suite and the
+//! golden reports) across the cores themselves.
+
+pub(crate) mod cdcl;
+pub(crate) mod legacy;
+pub(crate) mod presolve;
+pub(crate) mod theory;
+
+use crate::ctrl::{Governor, StopReason};
+use crate::fm::{feasible_paced, Feasibility};
+use crate::formula::Clause;
+use crate::linexpr::{AtomTable, LinExpr};
+use crate::solver::{SatResult, SolverBudget};
+
+/// Which engine answers `check()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchCore {
+    /// CDCL(T): presolve + watched-literal propagation + theory-conflict
+    /// learning (the default).
+    #[default]
+    Cdcl,
+    /// The original clause-splitting search, kept as a differential
+    /// oracle (`--search-core legacy`).
+    Legacy,
+}
+
+impl SearchCore {
+    /// Parse a CLI/env spelling (`"cdcl"` / `"legacy"`).
+    pub fn parse(s: &str) -> Option<SearchCore> {
+        match s {
+            "cdcl" => Some(SearchCore::Cdcl),
+            "legacy" => Some(SearchCore::Legacy),
+            _ => None,
+        }
+    }
+
+    /// The core selected by the `FORMAD_SEARCH_CORE` environment variable
+    /// (used by the CI matrix), falling back to the default. Unknown
+    /// values fall back to the default rather than erroring, so a typo'd
+    /// environment cannot change verdicts — only which (verdict-identical)
+    /// engine produced them.
+    pub fn from_env() -> SearchCore {
+        match std::env::var("FORMAD_SEARCH_CORE") {
+            Ok(v) => SearchCore::parse(&v).unwrap_or_default(),
+            Err(_) => SearchCore::default(),
+        }
+    }
+
+    /// CLI/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchCore::Cdcl => "cdcl",
+            SearchCore::Legacy => "legacy",
+        }
+    }
+}
+
+/// Per-`check()` working state shared by both cores: budgets, work
+/// counters, the atom table, and the paced interrupt poller.
+pub(crate) struct SearchCtx<'t> {
+    pub(crate) budget: SolverBudget,
+    pub(crate) lia_calls: u64,
+    pub(crate) branches: u64,
+    pub(crate) propagations: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) learned_clauses: u64,
+    pub(crate) learned_literals: u64,
+    pub(crate) restarts: u64,
+    pub(crate) presolve_discharges: u64,
+    pub(crate) table: &'t AtomTable,
+    pub(crate) gov: Governor<'t>,
+}
+
+impl<'t> SearchCtx<'t> {
+    pub(crate) fn new(
+        budget: SolverBudget,
+        table: &'t AtomTable,
+        gov: Governor<'t>,
+    ) -> SearchCtx<'t> {
+        SearchCtx {
+            budget,
+            lia_calls: 0,
+            branches: 0,
+            propagations: 0,
+            conflicts: 0,
+            learned_clauses: 0,
+            learned_literals: 0,
+            restarts: 0,
+            presolve_discharges: 0,
+            table,
+            gov,
+        }
+    }
+
+    /// One governed, budgeted call into the linear feasibility core.
+    pub(crate) fn lia(&mut self, eqs: &[LinExpr], ineqs: &[LinExpr]) -> Feasibility {
+        if let Some(reason) = self.gov.poll() {
+            return Feasibility::Unknown(reason);
+        }
+        if self.lia_calls >= self.budget.max_lia_calls {
+            return Feasibility::Unknown(StopReason::Budget);
+        }
+        self.lia_calls += 1;
+        feasible_paced(eqs, ineqs, &self.budget.fm, &mut self.gov)
+    }
+}
+
+/// Outcome of a search run: the verdict plus (CDCL only) the clauses
+/// learned along the way, exposed for soundness spot-checks.
+pub(crate) struct SearchOutcome {
+    pub(crate) result: SatResult,
+    pub(crate) learned: Vec<Clause>,
+}
+
+/// Run the selected core over the flattened assertion clauses.
+pub(crate) fn run(core: SearchCore, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SearchOutcome {
+    match core {
+        SearchCore::Legacy => SearchOutcome {
+            result: legacy::search(&theory::Committed::default(), clauses, ctx),
+            learned: Vec::new(),
+        },
+        SearchCore::Cdcl => cdcl::solve(clauses, ctx),
+    }
+}

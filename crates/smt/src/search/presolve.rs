@@ -1,0 +1,582 @@
+//! Presolve: cheap, exact (equisatisfiable over ℤ) simplifications applied
+//! before the CDCL(T) search, so most Table-1-style queries resolve with
+//! zero Fourier–Motzkin calls.
+//!
+//! Rules, run to fixpoint:
+//!
+//! * **Canonicalization / GCD–parity normalization** — every literal is
+//!   rewritten to a canonical form: `Eq`/`Ne` divided by the coefficient
+//!   gcd `g` (if `g ∤ constant` the equality is constantly false and the
+//!   disequality constantly true) and sign-normalized so the leading
+//!   coefficient is positive; `Le` integer-tightened (`c + Σ g·kᵢaᵢ ≤ 0`
+//!   becomes `⌈c/g⌉ + Σ kᵢaᵢ ≤ 0`, exact over ℤ). Canonical literals give
+//!   each boolean variable a unique [`VarKey`] with a polarity, so a
+//!   literal and its negation map to one variable.
+//! * **Unit extraction** — one-literal clauses move into the *fixed* set;
+//!   a key fixed at both polarities is an immediate `Unsat`.
+//! * **Equality substitution** — a fixed equality with a `±1`-coefficient
+//!   symbol pivot (not occurring inside any opaque/application atom) is
+//!   solved for that symbol and substituted through the whole problem.
+//! * **Interval propagation** — single-atom fixed literals induce
+//!   `[lo, hi]` intervals (disequalities shave matching endpoints); an
+//!   empty interval is `Unsat`, and clause literals that are constantly
+//!   true/false under interval evaluation are simplified away.
+//! * **Free-atom discharge** — a literal over a symbol occurring exactly
+//!   once in the whole problem (counting occurrences inside opaque atom
+//!   keys) is always satisfiable (`Ne`/`Le` with any coefficient, `Eq`
+//!   with coefficient `±1`), so its clause — or the fixed literal
+//!   itself — is discharged.
+//!
+//! Every rule is verdict-exact, which is what lets the CDCL core keep
+//! reports byte-identical to the legacy splitter.
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+use crate::ctrl::StopReason;
+use crate::formula::{Clause, Literal, Rel};
+use crate::linexpr::{AtomId, AtomKey, AtomTable, LinExpr};
+
+use super::SearchCtx;
+
+/// Identity of a boolean variable in the abstraction: a relation class
+/// (`0` = equality family, `1` = inequality family) plus the canonical
+/// representative expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct VarKey {
+    class: u8,
+    expr: LinExpr,
+}
+
+impl VarKey {
+    /// The concrete literal asserted when this variable takes `polarity`.
+    pub(crate) fn lit(&self, polarity: bool) -> Literal {
+        match self.class {
+            0 => Literal {
+                rel: if polarity { Rel::Eq } else { Rel::Ne },
+                expr: self.expr.clone(),
+            },
+            _ => {
+                if polarity {
+                    Literal {
+                        rel: Rel::Le,
+                        expr: self.expr.clone(),
+                    }
+                } else {
+                    // ¬(e ≤ 0) ⇔ -e + 1 ≤ 0.
+                    let mut neg = self.expr.scale(-1);
+                    neg.constant += 1;
+                    Literal {
+                        rel: Rel::Le,
+                        expr: neg,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Total order on canonical expressions (terms, then constant) — used only
+/// for deterministic tie-breaking, never exposed.
+fn lin_key_cmp(a: &LinExpr, b: &LinExpr) -> Ordering {
+    a.terms.cmp(&b.terms).then(a.constant.cmp(&b.constant))
+}
+
+pub(crate) fn var_key_cmp(a: &VarKey, b: &VarKey) -> Ordering {
+    a.class.cmp(&b.class).then(lin_key_cmp(&a.expr, &b.expr))
+}
+
+/// A canonicalized literal: ground truth value, or a variable + polarity
+/// together with the rewritten (tightened) literal to hand to the theory.
+pub(crate) enum CanonLit {
+    True,
+    False,
+    Var {
+        key: VarKey,
+        polarity: bool,
+        lit: Literal,
+    },
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    // b > 0.
+    a.div_euclid(b) + if a.rem_euclid(b) != 0 { 1 } else { 0 }
+}
+
+fn scale_down(e: &LinExpr, g: i128, ceil_constant: bool) -> LinExpr {
+    LinExpr {
+        constant: if ceil_constant {
+            ceil_div(e.constant, g)
+        } else {
+            e.constant / g
+        },
+        terms: e.terms.iter().map(|&(a, c)| (a, c / g)).collect(),
+    }
+}
+
+/// Canonicalize one literal. Exact over ℤ.
+pub(crate) fn canon_lit(lit: &Literal) -> CanonLit {
+    let e = &lit.expr;
+    if e.is_const() {
+        let truth = match lit.rel {
+            Rel::Eq => e.constant == 0,
+            Rel::Ne => e.constant != 0,
+            Rel::Le => e.constant <= 0,
+        };
+        return if truth {
+            CanonLit::True
+        } else {
+            CanonLit::False
+        };
+    }
+    let g = e.coeff_gcd(); // > 0: at least one nonzero coefficient
+    match lit.rel {
+        Rel::Eq | Rel::Ne => {
+            if e.constant.rem_euclid(g) != 0 {
+                // c + g·(…) is never 0 when g ∤ c (parity-style rule).
+                return if lit.rel == Rel::Eq {
+                    CanonLit::False
+                } else {
+                    CanonLit::True
+                };
+            }
+            let mut n = scale_down(e, g, false);
+            if n.terms[0].1 < 0 {
+                n = n.scale(-1);
+            }
+            CanonLit::Var {
+                key: VarKey {
+                    class: 0,
+                    expr: n.clone(),
+                },
+                polarity: lit.rel == Rel::Eq,
+                lit: Literal {
+                    rel: lit.rel,
+                    expr: n,
+                },
+            }
+        }
+        Rel::Le => {
+            let n = scale_down(e, g, true);
+            let mut neg = n.scale(-1);
+            neg.constant += 1;
+            // The variable representative is the lesser of the literal and
+            // its negation; tightening is involutive (gcd is now 1), so
+            // both polarities of one constraint land on the same key.
+            let (key_expr, polarity) = if lin_key_cmp(&n, &neg) != Ordering::Greater {
+                (n.clone(), true)
+            } else {
+                (neg, false)
+            };
+            CanonLit::Var {
+                key: VarKey {
+                    class: 1,
+                    expr: key_expr,
+                },
+                polarity,
+                lit: Literal {
+                    rel: Rel::Le,
+                    expr: n,
+                },
+            }
+        }
+    }
+}
+
+/// Result of presolving an assertion set.
+pub(crate) enum Presolved {
+    /// Contradiction found without any theory call.
+    Unsat,
+    /// Interrupted by the governor mid-presolve.
+    Stopped(StopReason),
+    /// Simplified problem: conjunctive fixed literals (outside the boolean
+    /// abstraction) plus residual clauses of ≥ 2 canonical literals each.
+    Reduced {
+        fixed: Vec<Literal>,
+        clauses: Vec<Vec<Literal>>,
+    },
+}
+
+/// Count symbol occurrences in `e`, descending into application/opaque
+/// atom keys so a symbol feeding a gather index is never considered free.
+fn count_syms(e: &LinExpr, table: &AtomTable, counts: &mut HashMap<AtomId, u64>) {
+    for a in e.atoms() {
+        count_syms_atom(a, table, counts);
+    }
+}
+
+fn count_syms_atom(a: AtomId, table: &AtomTable, counts: &mut HashMap<AtomId, u64>) {
+    match table.key(a) {
+        AtomKey::Sym(_) => *counts.entry(a).or_insert(0) += 1,
+        AtomKey::App(_, args) => {
+            for arg in args {
+                count_syms(arg, table, counts);
+            }
+        }
+        AtomKey::MulOpaque(x, y) | AtomKey::DivOpaque(x, y) | AtomKey::ModOpaque(x, y) => {
+            count_syms(x, table, counts);
+            count_syms(y, table, counts);
+        }
+    }
+}
+
+/// Symbols appearing (transitively) inside any opaque/application key of
+/// `e` — these must not be used as substitution pivots, or congruence
+/// reasoning over the enclosing applications would lose the link.
+fn opaque_bound_syms(e: &LinExpr, table: &AtomTable, out: &mut HashSet<AtomId>) {
+    for a in e.atoms() {
+        match table.key(a) {
+            AtomKey::Sym(_) => {}
+            AtomKey::App(_, args) => {
+                for arg in args {
+                    inner_syms(arg, table, out);
+                }
+            }
+            AtomKey::MulOpaque(x, y) | AtomKey::DivOpaque(x, y) | AtomKey::ModOpaque(x, y) => {
+                inner_syms(x, table, out);
+                inner_syms(y, table, out);
+            }
+        }
+    }
+}
+
+fn inner_syms(e: &LinExpr, table: &AtomTable, out: &mut HashSet<AtomId>) {
+    for a in e.atoms() {
+        match table.key(a) {
+            AtomKey::Sym(_) => {
+                out.insert(a);
+            }
+            AtomKey::App(_, args) => {
+                out.insert(a);
+                for arg in args {
+                    inner_syms(arg, table, out);
+                }
+            }
+            AtomKey::MulOpaque(x, y) | AtomKey::DivOpaque(x, y) | AtomKey::ModOpaque(x, y) => {
+                inner_syms(x, table, out);
+                inner_syms(y, table, out);
+            }
+        }
+    }
+}
+
+/// Saturating interval evaluation of `e` under per-atom bounds.
+fn interval_eval(e: &LinExpr, iv: &HashMap<AtomId, (i128, i128)>) -> (i128, i128) {
+    let mut lo = e.constant;
+    let mut hi = e.constant;
+    for &(a, k) in &e.terms {
+        let (alo, ahi) = iv.get(&a).copied().unwrap_or((i128::MIN, i128::MAX));
+        let (tlo, thi) = if k >= 0 {
+            (alo.saturating_mul(k), ahi.saturating_mul(k))
+        } else {
+            (ahi.saturating_mul(k), alo.saturating_mul(k))
+        };
+        lo = lo.saturating_add(tlo);
+        hi = hi.saturating_add(thi);
+    }
+    (lo, hi)
+}
+
+struct Fixed {
+    // Insertion-ordered for determinism; the map only answers lookups.
+    items: Vec<(VarKey, bool, Literal)>,
+    index: HashMap<VarKey, usize>,
+}
+
+impl Fixed {
+    fn new() -> Fixed {
+        Fixed {
+            items: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn polarity_of(&self, key: &VarKey) -> Option<bool> {
+        self.index.get(key).map(|&i| self.items[i].1)
+    }
+
+    /// Returns `false` on contradiction (key already fixed oppositely).
+    #[must_use]
+    fn insert(&mut self, key: VarKey, polarity: bool, lit: Literal) -> bool {
+        match self.index.get(&key) {
+            Some(&i) => self.items[i].1 == polarity,
+            None => {
+                self.index.insert(key.clone(), self.items.len());
+                self.items.push((key, polarity, lit));
+                true
+            }
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, (k, _, _)) in self.items.iter().enumerate() {
+            self.index.insert(k.clone(), i);
+        }
+    }
+}
+
+/// Run the presolve fixpoint over the asserted clauses.
+pub(crate) fn presolve(clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> Presolved {
+    let mut fixed = Fixed::new();
+    let mut work: Vec<Vec<Literal>> = clauses.iter().map(|c| c.lits.clone()).collect();
+
+    loop {
+        if let Some(r) = ctx.gov.poll() {
+            return Presolved::Stopped(r);
+        }
+        let mut changed = false;
+
+        // 1. Canonicalize clauses; resolve against the fixed set; extract
+        //    units; drop tautologies/duplicates.
+        let mut seen_clauses: HashSet<Vec<(VarKey, bool)>> = HashSet::new();
+        let mut next: Vec<Vec<Literal>> = Vec::with_capacity(work.len());
+        for clause in work.drain(..) {
+            let mut lits: Vec<Literal> = Vec::with_capacity(clause.len());
+            let mut keys: Vec<(VarKey, bool)> = Vec::with_capacity(clause.len());
+            let mut satisfied = false;
+            for lit in &clause {
+                match canon_lit(lit) {
+                    CanonLit::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    CanonLit::False => {
+                        changed = true;
+                    }
+                    CanonLit::Var { key, polarity, lit } => {
+                        match fixed.polarity_of(&key) {
+                            Some(p) if p == polarity => {
+                                satisfied = true;
+                                break;
+                            }
+                            Some(_) => {
+                                changed = true; // falsified by a fixed literal
+                                continue;
+                            }
+                            None => {}
+                        }
+                        if keys.iter().any(|(k, _)| *k == key) {
+                            // Duplicate (same polarity) or tautology
+                            // (opposite polarity within one clause).
+                            if keys.iter().any(|(k, p)| *k == key && *p != polarity) {
+                                satisfied = true;
+                                break;
+                            }
+                            changed = true;
+                            continue;
+                        }
+                        keys.push((key, polarity));
+                        lits.push(lit);
+                    }
+                }
+            }
+            if satisfied {
+                changed = true;
+                continue;
+            }
+            match lits.len() {
+                0 => return Presolved::Unsat,
+                1 => {
+                    let (key, polarity) = keys.pop().expect("one key");
+                    let lit = lits.pop().expect("one lit");
+                    if !fixed.insert(key, polarity, lit) {
+                        return Presolved::Unsat;
+                    }
+                    changed = true;
+                }
+                _ => {
+                    let mut sig = keys.clone();
+                    sig.sort_by(|(a, pa), (b, pb)| var_key_cmp(a, b).then(pa.cmp(pb)));
+                    if seen_clauses.insert(sig) {
+                        next.push(lits);
+                    } else {
+                        changed = true; // duplicate clause dropped
+                    }
+                }
+            }
+        }
+        work = next;
+
+        // 2. Equality substitution: solve one fixed equality for a ±1
+        //    symbol pivot and eliminate that symbol everywhere.
+        let mut opaque: HashSet<AtomId> = HashSet::new();
+        for (_, _, lit) in &fixed.items {
+            opaque_bound_syms(&lit.expr, ctx.table, &mut opaque);
+        }
+        for clause in &work {
+            for lit in clause {
+                opaque_bound_syms(&lit.expr, ctx.table, &mut opaque);
+            }
+        }
+        let mut pivot: Option<(usize, AtomId, i128)> = None;
+        'outer: for (i, (key, polarity, lit)) in fixed.items.iter().enumerate() {
+            if key.class != 0 || !*polarity || lit.rel != Rel::Eq {
+                continue;
+            }
+            for &(a, k) in &lit.expr.terms {
+                if (k == 1 || k == -1)
+                    && matches!(ctx.table.key(a), AtomKey::Sym(_))
+                    && !opaque.contains(&a)
+                {
+                    pivot = Some((i, a, k));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((idx, a, k)) = pivot {
+            // c + k·a + r = 0  ⇒  a = -k·(c + r).
+            let def = fixed.items[idx].2.expr.clone();
+            let rest = def.add_scaled(&LinExpr::atom(a), -k);
+            let subst = rest.scale(-k);
+            let apply = |e: &LinExpr| -> Option<LinExpr> {
+                let c = e.coeff(a);
+                if c == 0 {
+                    return None;
+                }
+                Some(e.add_scaled(&LinExpr::atom(a), -c).add_scaled(&subst, c))
+            };
+            for clause in work.iter_mut() {
+                for lit in clause.iter_mut() {
+                    if let Some(e) = apply(&lit.expr) {
+                        lit.expr = e;
+                    }
+                }
+            }
+            // Rebuild the fixed set: drop the defining equality, substitute
+            // into the rest, re-canonicalize (substituted literals may
+            // become ground or collide with other fixed keys).
+            let old = std::mem::take(&mut fixed.items);
+            fixed.index.clear();
+            for (i, (key, polarity, mut lit)) in old.into_iter().enumerate() {
+                if i == idx {
+                    continue; // defining equality: pivot now occurs nowhere else
+                }
+                if let Some(e) = apply(&lit.expr) {
+                    lit.expr = e;
+                    match canon_lit(&lit) {
+                        CanonLit::True => continue,
+                        CanonLit::False => return Presolved::Unsat,
+                        CanonLit::Var { key, polarity, lit } => {
+                            if !fixed.insert(key, polarity, lit) {
+                                return Presolved::Unsat;
+                            }
+                        }
+                    }
+                } else if !fixed.insert(key, polarity, lit) {
+                    return Presolved::Unsat;
+                }
+            }
+            fixed.rebuild_index();
+            continue; // re-canonicalize clauses before further rules
+        }
+
+        // 3. Interval propagation from single-atom fixed literals.
+        //    Only Eq/Le contribute bounds: shaving Ne endpoints would make
+        //    presolve *more* precise than the solver's independent
+        //    disequality approximation and let the two search cores
+        //    diverge on jointly-unsatisfiable disequality sets.
+        let mut iv: HashMap<AtomId, (i128, i128)> = HashMap::new();
+        for (_, _, lit) in &fixed.items {
+            if lit.expr.terms.len() != 1 {
+                continue;
+            }
+            let (a, k) = lit.expr.terms[0];
+            let c = lit.expr.constant;
+            // Canonical single-atom coefficients are ±1 (gcd-normalized).
+            let entry = iv.entry(a).or_insert((i128::MIN, i128::MAX));
+            match (lit.rel, k) {
+                (Rel::Eq, 1) => {
+                    entry.0 = entry.0.max(-c);
+                    entry.1 = entry.1.min(-c);
+                }
+                (Rel::Eq, -1) => {
+                    entry.0 = entry.0.max(c);
+                    entry.1 = entry.1.min(c);
+                }
+                (Rel::Le, 1) => entry.1 = entry.1.min(-c),
+                (Rel::Le, -1) => entry.0 = entry.0.max(c),
+                _ => {}
+            }
+        }
+        if iv.values().any(|&(lo, hi)| lo > hi) {
+            return Presolved::Unsat;
+        }
+        if !iv.is_empty() {
+            let mut next: Vec<Vec<Literal>> = Vec::with_capacity(work.len());
+            for clause in work.drain(..) {
+                let mut lits: Vec<Literal> = Vec::with_capacity(clause.len());
+                let mut satisfied = false;
+                for lit in clause {
+                    let (lo, hi) = interval_eval(&lit.expr, &iv);
+                    let truth = match lit.rel {
+                        Rel::Eq if lo == 0 && hi == 0 => Some(true),
+                        Rel::Eq if lo > 0 || hi < 0 => Some(false),
+                        Rel::Ne if lo == 0 && hi == 0 => Some(false),
+                        Rel::Ne if lo > 0 || hi < 0 => Some(true),
+                        Rel::Le if hi <= 0 => Some(true),
+                        Rel::Le if lo > 0 => Some(false),
+                        _ => None,
+                    };
+                    match truth {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => changed = true,
+                        None => lits.push(lit),
+                    }
+                }
+                if satisfied {
+                    changed = true;
+                    continue;
+                }
+                if lits.is_empty() {
+                    return Presolved::Unsat;
+                }
+                next.push(lits);
+            }
+            work = next;
+        }
+
+        // 4. Free-atom discharge: a symbol with exactly one occurrence in
+        //    the whole problem makes its literal unconditionally
+        //    satisfiable (Ne/Le any coefficient; Eq needs ±1).
+        let mut counts: HashMap<AtomId, u64> = HashMap::new();
+        for (_, _, lit) in &fixed.items {
+            count_syms(&lit.expr, ctx.table, &mut counts);
+        }
+        for clause in &work {
+            for lit in clause {
+                count_syms(&lit.expr, ctx.table, &mut counts);
+            }
+        }
+        let free_lit = |lit: &Literal| -> bool {
+            lit.expr.terms.iter().any(|&(a, k)| {
+                matches!(ctx.table.key(a), AtomKey::Sym(_))
+                    && counts.get(&a) == Some(&1)
+                    && (lit.rel != Rel::Eq || k == 1 || k == -1)
+            })
+        };
+        let before = work.len();
+        work.retain(|clause| !clause.iter().any(&free_lit));
+        if work.len() != before {
+            changed = true;
+        }
+        let before = fixed.items.len();
+        fixed.items.retain(|(_, _, lit)| !free_lit(lit));
+        if fixed.items.len() != before {
+            fixed.rebuild_index();
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    Presolved::Reduced {
+        fixed: fixed.items.into_iter().map(|(_, _, lit)| lit).collect(),
+        clauses: work,
+    }
+}

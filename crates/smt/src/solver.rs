@@ -1,16 +1,18 @@
-//! The incremental solver: assertion stack, disequality/clause splitting,
-//! and statistics. This is the component that stands in for Z3 in the
-//! paper's pipeline (§5.5, §6).
+//! The incremental solver: assertion stack, search-core dispatch, and
+//! statistics. This is the component that stands in for Z3 in the
+//! paper's pipeline (§5.5, §6). The actual satisfiability search lives in
+//! [`crate::search`]: a CDCL(T) engine by default, with the original
+//! clause splitter selectable as a differential oracle.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::{canonical_query_key, ProofCache};
 use crate::ctrl::{CancelToken, Deadline, Governor, Interrupt, StopReason};
-use crate::fm::{feasible_paced, Feasibility, FmBudget};
-use crate::formula::{Clause, Formula, Literal, Rel};
-use crate::linexpr::{AtomId, AtomKey, AtomTable, LinExpr};
+use crate::fm::FmBudget;
+use crate::formula::{Clause, Formula};
+use crate::linexpr::AtomTable;
+use crate::search::{self, SearchCore, SearchCtx};
 
 /// Result of a satisfiability check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +66,19 @@ pub struct SolverStats {
     pub cache_misses: u64,
     /// Definite verdicts this solver stored into the cache.
     pub cache_inserts: u64,
+    /// Literals assigned by unit propagation (CDCL core).
+    pub propagations: u64,
+    /// Conflicts hit — boolean or theory (CDCL core).
+    pub conflicts: u64,
+    /// Clauses learned from conflict analysis (CDCL core).
+    pub learned_clauses: u64,
+    /// Total literals across learned clauses (CDCL core).
+    pub learned_literals: u64,
+    /// Luby restarts performed (CDCL core).
+    pub restarts: u64,
+    /// `check()` calls fully resolved by the presolve layer / level-0
+    /// theory check, without entering the search (CDCL core).
+    pub presolve_discharges: u64,
 }
 
 impl SolverStats {
@@ -80,6 +95,14 @@ impl SolverStats {
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
         self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
         self.cache_inserts = self.cache_inserts.saturating_add(other.cache_inserts);
+        self.propagations = self.propagations.saturating_add(other.propagations);
+        self.conflicts = self.conflicts.saturating_add(other.conflicts);
+        self.learned_clauses = self.learned_clauses.saturating_add(other.learned_clauses);
+        self.learned_literals = self.learned_literals.saturating_add(other.learned_literals);
+        self.restarts = self.restarts.saturating_add(other.restarts);
+        self.presolve_discharges = self
+            .presolve_discharges
+            .saturating_add(other.presolve_discharges);
     }
 
     /// Counters accumulated since an earlier snapshot `since` of the same
@@ -96,6 +119,14 @@ impl SolverStats {
             cache_hits: self.cache_hits.saturating_sub(since.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(since.cache_misses),
             cache_inserts: self.cache_inserts.saturating_sub(since.cache_inserts),
+            propagations: self.propagations.saturating_sub(since.propagations),
+            conflicts: self.conflicts.saturating_sub(since.conflicts),
+            learned_clauses: self.learned_clauses.saturating_sub(since.learned_clauses),
+            learned_literals: self.learned_literals.saturating_sub(since.learned_literals),
+            restarts: self.restarts.saturating_sub(since.restarts),
+            presolve_discharges: self
+                .presolve_discharges
+                .saturating_sub(since.presolve_discharges),
         }
     }
 }
@@ -184,6 +215,13 @@ pub struct Solver {
     timeout: Option<Duration>,
     /// Shared canonical-query verdict cache, if attached.
     cache: Option<ProofCache>,
+    /// Which search engine answers `check()` (CDCL by default; the legacy
+    /// splitter remains available as a differential oracle).
+    search_core: SearchCore,
+    /// Clauses learned by the CDCL core during the most recent
+    /// non-cache-hit `check()` (empty for the legacy core and for cache
+    /// hits). Exposed for learned-clause soundness tests.
+    last_learned: Vec<Clause>,
 }
 
 impl Solver {
@@ -274,10 +312,35 @@ impl Solver {
         self.cache.as_ref()
     }
 
+    /// Select the search engine used by later `check()` calls.
+    pub fn set_search_core(&mut self, core: SearchCore) {
+        self.search_core = core;
+    }
+
+    /// The currently selected search engine.
+    pub fn search_core(&self) -> SearchCore {
+        self.search_core
+    }
+
+    /// Clauses learned by the CDCL core during the most recent `check()`
+    /// that actually ran a search (cache hits and the legacy core leave
+    /// this empty). Each is a valid consequence of the assertions checked,
+    /// so re-asserting them must not change any verdict — the
+    /// learned-clause soundness suite relies on exactly that.
+    pub fn last_learned(&self) -> &[Clause] {
+        &self.last_learned
+    }
+
     /// Snapshot this solver into an independent worker solver: same
     /// assertion stack (shared chunks), table, budget, interrupt wiring,
-    /// and cache, but fresh statistics. `_salt` is unused here; fault-
-    /// injecting wrappers use it to derive per-fork RNG seeds.
+    /// search core, and cache, but fresh statistics.
+    ///
+    /// `_salt` is deliberately unused by the real solver: both search
+    /// cores are RNG-free and fully deterministic, so there is no
+    /// per-fork stream to seed and forked solvers return identical
+    /// verdicts for every salt (covered by
+    /// `fork_salt_does_not_affect_verdicts`). Fault-injecting wrappers
+    /// (`ChaosSolver`) use the salt to derive per-fork fault streams.
     pub fn fork(&self, _salt: u64) -> Solver {
         let mut s = self.clone();
         s.stats = SolverStats::default();
@@ -288,6 +351,7 @@ impl Solver {
     /// the work budget, the wall-clock deadline, and the cancel token.
     pub fn check(&mut self) -> SatResult {
         self.stats.checks = self.stats.checks.saturating_add(1);
+        self.last_learned.clear();
         // Canonical-cache fast path: a definite verdict cached for any
         // equisatisfiable assertion stack short-circuits the search.
         // `Unknown` is never served from (or stored into) the cache.
@@ -308,21 +372,32 @@ impl Solver {
             interrupt.deadline = interrupt.deadline.earliest(Deadline::after(t));
         }
         let gov = Governor::new(&interrupt);
-        let mut ctx = SearchCtx {
-            budget: self.budget,
-            lia_calls: 0,
-            branches: 0,
-            table: &self.table,
-            gov,
-        };
+        let mut ctx = SearchCtx::new(self.budget, &self.table, gov);
         let clauses: Vec<Clause> = self
             .chunks
             .iter()
             .flat_map(|ch| ch.iter().cloned())
             .collect();
-        let result = search(&Committed::default(), &clauses, &mut ctx);
+        let outcome = search::run(self.search_core, &clauses, &mut ctx);
+        let result = outcome.result;
+        self.last_learned = outcome.learned;
         self.stats.lia_calls = self.stats.lia_calls.saturating_add(ctx.lia_calls);
         self.stats.branches = self.stats.branches.saturating_add(ctx.branches);
+        self.stats.propagations = self.stats.propagations.saturating_add(ctx.propagations);
+        self.stats.conflicts = self.stats.conflicts.saturating_add(ctx.conflicts);
+        self.stats.learned_clauses = self
+            .stats
+            .learned_clauses
+            .saturating_add(ctx.learned_clauses);
+        self.stats.learned_literals = self
+            .stats
+            .learned_literals
+            .saturating_add(ctx.learned_literals);
+        self.stats.restarts = self.stats.restarts.saturating_add(ctx.restarts);
+        self.stats.presolve_discharges = self
+            .stats
+            .presolve_discharges
+            .saturating_add(ctx.presolve_discharges);
         if let SatResult::Unknown(reason) = result {
             self.stats.unknowns = self.stats.unknowns.saturating_add(1);
             if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
@@ -381,6 +456,8 @@ pub trait SolverApi {
     fn assert_interned(&mut self, f: &InternedFormula);
     /// Attach (or detach, with `None`) a shared canonical proof cache.
     fn set_cache(&mut self, cache: Option<ProofCache>);
+    /// Select the search engine answering later `check()` calls.
+    fn set_search_core(&mut self, core: SearchCore);
     /// Snapshot into an independent worker solver: same assertions,
     /// budget, interrupt wiring, and cache, fresh statistics. `salt`
     /// deterministically varies derived per-fork state (fault-injection
@@ -442,300 +519,11 @@ impl SolverApi for Solver {
     fn set_cache(&mut self, cache: Option<ProofCache>) {
         Solver::set_cache(self, cache);
     }
+    fn set_search_core(&mut self, core: SearchCore) {
+        Solver::set_search_core(self, core);
+    }
     fn fork(&self, salt: u64) -> Solver {
         Solver::fork(self, salt)
-    }
-}
-
-/// The set of literals committed on the current branch.
-#[derive(Debug, Clone, Default)]
-struct Committed {
-    eqs: Vec<LinExpr>,
-    ineqs: Vec<LinExpr>,
-    nes: Vec<LinExpr>,
-}
-
-impl Committed {
-    fn with(&self, lit: &Literal) -> Committed {
-        let mut c = self.clone();
-        match lit.rel {
-            Rel::Eq => c.eqs.push(lit.expr.clone()),
-            Rel::Le => c.ineqs.push(lit.expr.clone()),
-            Rel::Ne => c.nes.push(lit.expr.clone()),
-        }
-        c
-    }
-}
-
-struct SearchCtx<'t> {
-    budget: SolverBudget,
-    lia_calls: u64,
-    branches: u64,
-    table: &'t AtomTable,
-    gov: Governor<'t>,
-}
-
-impl<'t> SearchCtx<'t> {
-    fn lia(&mut self, eqs: &[LinExpr], ineqs: &[LinExpr]) -> Feasibility {
-        if let Some(reason) = self.gov.poll() {
-            return Feasibility::Unknown(reason);
-        }
-        if self.lia_calls >= self.budget.max_lia_calls {
-            return Feasibility::Unknown(StopReason::Budget);
-        }
-        self.lia_calls += 1;
-        feasible_paced(eqs, ineqs, &self.budget.fm, &mut self.gov)
-    }
-}
-
-/// Feasibility of the committed set alone. Disequalities are handled by the
-/// *independent* approximation: each `e ≠ 0` is refutable only if both
-/// `e ≤ -1` and `e ≥ 1` are infeasible against the Eq/Le core; if every
-/// disequality is individually satisfiable we report `Feasible`. This may
-/// report `Feasible` for jointly-unsatisfiable disequality sets — the
-/// conservative direction (a missed UNSAT keeps atomics in place).
-fn committed_feasible(c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
-    let core = ctx.lia(&c.eqs, &c.ineqs);
-    if core != Feasibility::Feasible {
-        return core;
-    }
-    let mut unknown: Option<StopReason> = None;
-    for ne in &c.nes {
-        match ne_feasible(ne, c, ctx) {
-            Feasibility::Infeasible => return Feasibility::Infeasible,
-            Feasibility::Unknown(r) => unknown = unknown.or(Some(r)),
-            Feasibility::Feasible => {}
-        }
-    }
-    match unknown {
-        Some(r) => Feasibility::Unknown(r),
-        None => Feasibility::Feasible,
-    }
-}
-
-/// Can `ne ≠ 0` hold together with the Eq/Le core of `c`?
-fn ne_feasible(ne: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
-    if ne.is_const() {
-        return if ne.constant != 0 {
-            Feasibility::Feasible
-        } else {
-            Feasibility::Infeasible
-        };
-    }
-    // e ≤ -1 side.
-    let mut lo = ne.clone();
-    lo.constant += 1;
-    let mut ineqs = c.ineqs.clone();
-    ineqs.push(lo);
-    let left = ctx.lia(&c.eqs, &ineqs);
-    if left == Feasibility::Feasible {
-        return Feasibility::Feasible;
-    }
-    // e ≥ 1 side: -e + 1 ≤ 0.
-    let mut hi = ne.scale(-1);
-    hi.constant += 1;
-    let mut ineqs = c.ineqs.clone();
-    ineqs.push(hi);
-    let right = ctx.lia(&c.eqs, &ineqs);
-    if right == Feasibility::Feasible {
-        return Feasibility::Feasible;
-    }
-    match (left, right) {
-        (Feasibility::Unknown(r), _) | (_, Feasibility::Unknown(r)) => Feasibility::Unknown(r),
-        _ => Feasibility::Infeasible,
-    }
-}
-
-/// Is literal `lit` jointly possible with committed set `c`?
-fn lit_feasible(lit: &Literal, c: &Committed, ctx: &mut SearchCtx<'_>) -> Feasibility {
-    match lit.rel {
-        Rel::Ne => ne_feasible(&lit.expr, c, ctx),
-        _ => {
-            let trial = c.with(lit);
-            ctx.lia(&trial.eqs, &trial.ineqs)
-        }
-    }
-}
-
-/// Congruence closure over uninterpreted applications: whenever the
-/// committed equality core entails that two same-function applications
-/// have pairwise equal arguments, their equality is added to the core.
-/// This is the piece of Z3's EUF reasoning FormAD relies on when an index
-/// equality (e.g. a committed query `j = i`) must propagate through a
-/// gather like `c(j)`/`c(i)`.
-fn congruence_close(c: &mut Committed, ctx: &mut SearchCtx<'_>) {
-    // Collect application atoms reachable from the committed constraints.
-    let mut apps: BTreeSet<AtomId> = BTreeSet::new();
-    for e in c.eqs.iter().chain(&c.ineqs).chain(&c.nes) {
-        collect_apps(e, ctx.table, &mut apps);
-    }
-    if apps.len() < 2 {
-        return;
-    }
-    let apps: Vec<AtomId> = apps.into_iter().collect();
-    for _round in 0..3 {
-        let mut changed = false;
-        for i in 0..apps.len() {
-            for j in (i + 1)..apps.len() {
-                let (a, b) = (apps[i], apps[j]);
-                let (AtomKey::App(fa, args_a), AtomKey::App(fb, args_b)) =
-                    (ctx.table.key(a), ctx.table.key(b))
-                else {
-                    continue;
-                };
-                if fa != fb || args_a.len() != args_b.len() {
-                    continue;
-                }
-                let eq_atoms = LinExpr::atom(a).sub(&LinExpr::atom(b));
-                if entailed_zero(&eq_atoms, c, ctx) {
-                    continue; // already known equal
-                }
-                let all_args_equal = args_a
-                    .iter()
-                    .zip(args_b)
-                    .all(|(x, y)| entailed_zero(&x.sub(y), c, ctx));
-                if all_args_equal {
-                    c.eqs.push(eq_atoms);
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-}
-
-/// Application atoms reachable from `e`, including through opaque args.
-fn collect_apps(e: &LinExpr, table: &AtomTable, out: &mut BTreeSet<AtomId>) {
-    for a in e.atoms() {
-        collect_apps_atom(a, table, out);
-    }
-}
-
-fn collect_apps_atom(a: AtomId, table: &AtomTable, out: &mut BTreeSet<AtomId>) {
-    match table.key(a) {
-        AtomKey::Sym(_) => {}
-        AtomKey::App(_, args) => {
-            if out.insert(a) {
-                for arg in args {
-                    collect_apps(arg, table, out);
-                }
-            }
-        }
-        AtomKey::MulOpaque(x, y) | AtomKey::DivOpaque(x, y) | AtomKey::ModOpaque(x, y) => {
-            collect_apps(x, table, out);
-            collect_apps(y, table, out);
-        }
-    }
-}
-
-/// Is `e = 0` entailed by the committed Eq/Le core? (Both strict sides
-/// must be infeasible; `Unknown` counts as not entailed — conservative.)
-fn entailed_zero(e: &LinExpr, c: &Committed, ctx: &mut SearchCtx<'_>) -> bool {
-    let mut lo = e.clone();
-    lo.constant += 1; // e ≤ -1
-    let mut ineqs = c.ineqs.clone();
-    ineqs.push(lo);
-    if ctx.lia(&c.eqs, &ineqs) != Feasibility::Infeasible {
-        return false;
-    }
-    let mut hi = e.scale(-1);
-    hi.constant += 1; // e ≥ 1
-    let mut ineqs = c.ineqs.clone();
-    ineqs.push(hi);
-    ctx.lia(&c.eqs, &ineqs) == Feasibility::Infeasible
-}
-
-fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResult {
-    if let Some(reason) = ctx.gov.poll() {
-        return SatResult::Unknown(reason);
-    }
-    ctx.branches += 1;
-    if ctx.branches > ctx.budget.max_branches {
-        return SatResult::Unknown(StopReason::Budget);
-    }
-
-    // Unit propagation with feasibility-based literal pruning.
-    let mut committed = c.clone();
-    let mut live: Vec<Clause> = clauses.to_vec();
-    loop {
-        let mut changed = false;
-        let mut next: Vec<Clause> = Vec::with_capacity(live.len());
-        let mut saw_unknown: Option<StopReason> = None;
-        for clause in live.into_iter() {
-            let mut kept: Vec<Literal> = Vec::with_capacity(clause.lits.len());
-            for lit in clause.lits.into_iter() {
-                match lit_feasible(&lit, &committed, ctx) {
-                    Feasibility::Infeasible => {
-                        changed = true; // literal pruned
-                    }
-                    Feasibility::Unknown(r) => {
-                        saw_unknown = saw_unknown.or(Some(r));
-                        kept.push(lit);
-                    }
-                    Feasibility::Feasible => kept.push(lit),
-                }
-            }
-            match kept.len() {
-                0 => {
-                    // Every disjunct contradicts the committed set.
-                    return match saw_unknown {
-                        Some(r) => SatResult::Unknown(r),
-                        None => SatResult::Unsat,
-                    };
-                }
-                1 => {
-                    committed = committed.with(&kept[0]);
-                    changed = true;
-                }
-                _ => next.push(Clause { lits: kept }),
-            }
-        }
-        live = next;
-        if !changed {
-            break;
-        }
-    }
-
-    // Propagate equalities through uninterpreted applications before the
-    // final feasibility verdicts (EUF-lite).
-    congruence_close(&mut committed, ctx);
-
-    if live.is_empty() {
-        return match committed_feasible(&committed, ctx) {
-            Feasibility::Feasible => SatResult::Sat,
-            Feasibility::Infeasible => SatResult::Unsat,
-            Feasibility::Unknown(r) => SatResult::Unknown(r),
-        };
-    }
-
-    // Branch on the smallest clause.
-    let (idx, _) = live
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, cl)| cl.lits.len())
-        .expect("live is nonempty");
-    let clause = live[idx].clone();
-    let rest: Vec<Clause> = live
-        .iter()
-        .enumerate()
-        .filter(|(k, _)| *k != idx)
-        .map(|(_, cl)| cl.clone())
-        .collect();
-
-    let mut any_unknown: Option<StopReason> = None;
-    for lit in &clause.lits {
-        let child = committed.with(lit);
-        match search(&child, &rest, ctx) {
-            SatResult::Sat => return SatResult::Sat,
-            SatResult::Unknown(r) => any_unknown = any_unknown.or(Some(r)),
-            SatResult::Unsat => {}
-        }
-    }
-    match any_unknown {
-        Some(r) => SatResult::Unknown(r),
-        None => SatResult::Unsat,
     }
 }
 
@@ -743,6 +531,7 @@ fn search(c: &Committed, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SatResu
 mod tests {
     use super::*;
     use crate::formula::Formula;
+    use crate::linexpr::LinExpr;
     use crate::term::Term;
 
     fn sym(s: &str) -> Term {
@@ -997,6 +786,35 @@ mod tests {
         assert_eq!(w.check(), SatResult::Unsat);
         assert_eq!(s.num_clauses(), 1);
         assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn fork_salt_does_not_affect_verdicts() {
+        // `fork(salt)` takes a salt only for API symmetry with
+        // `ChaosSolver::fork`; the plain solver is RNG-free, so every salt
+        // must yield the same verdicts and the same work counters.
+        for core in [SearchCore::Cdcl, SearchCore::Legacy] {
+            let mut s = Solver::new();
+            s.set_search_core(core);
+            let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+            s.assert(f);
+            let q = Formula::term_eq(&sym("x"), &sym("y"), &mut s.table).unwrap();
+            let qf = InternedFormula::new(q);
+            let mut baseline = None;
+            for salt in [0u64, 1, 7, u64::MAX] {
+                let mut w = s.fork(salt);
+                let sat = w.check();
+                w.assert_interned(&qf);
+                let unsat = w.check();
+                let run = (sat, unsat, w.stats);
+                match &baseline {
+                    None => baseline = Some(run),
+                    Some(b) => assert_eq!(*b, run, "salt {salt} changed the outcome"),
+                }
+            }
+            let b = baseline.unwrap();
+            assert_eq!((b.0, b.1), (SatResult::Sat, SatResult::Unsat));
+        }
     }
 
     #[test]

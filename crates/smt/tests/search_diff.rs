@@ -1,0 +1,169 @@
+//! Differential property tests of the two SMT search cores.
+//!
+//! The CDCL(T) engine is a pure accelerator over the legacy
+//! enumerate-and-split core: on every input where both return a definite
+//! verdict, the verdicts must be identical. Both are cross-validated
+//! against brute-force model enumeration in the repo's one-directional
+//! contract (an `Unsat` answer means no model exists anywhere; a model
+//! found by enumeration forbids `Unsat`). Finally, the clauses the CDCL
+//! core learns must be consequences of the assertions: re-asserting them
+//! can never change a verdict.
+
+use formad_smt::{
+    brute, AtomTable, Clause, Formula, LinExpr, Literal, SatResult, SearchCore, Solver,
+};
+use proptest::prelude::*;
+
+const SYMS: [&str; 3] = ["x", "y", "z"];
+
+/// Spec of one literal: relation selector and `c0 + Σ coeffs·sym`.
+type LitSpec = (u8, i64, [i64; 3]);
+/// A formula is a conjunction of disjunctions of literal specs.
+type FormulaSpec = Vec<Vec<LitSpec>>;
+
+fn lin(table: &mut AtomTable, c0: i64, coeffs: &[i64; 3]) -> LinExpr {
+    let mut e = LinExpr::constant(c0 as i128);
+    for (k, c) in coeffs.iter().enumerate() {
+        if *c != 0 {
+            let id = table.sym(SYMS[k]);
+            e = e.add_scaled(&LinExpr::atom(id), *c as i128);
+        }
+    }
+    e
+}
+
+fn build_lit(table: &mut AtomTable, (rel, c0, coeffs): &LitSpec) -> Literal {
+    let e = lin(table, *c0, coeffs);
+    let zero = LinExpr::constant(0);
+    match rel % 3 {
+        0 => Literal::eq(e, zero),
+        1 => Literal::ne(e, zero),
+        _ => Literal::le(e, zero),
+    }
+}
+
+fn build(table: &mut AtomTable, spec: &FormulaSpec) -> Vec<Formula> {
+    spec.iter()
+        .map(|clause| {
+            Formula::or(
+                clause
+                    .iter()
+                    .map(|l| Formula::Lit(build_lit(table, l)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Solve `spec` from scratch under `core`; optionally re-assert `extra`
+/// clauses (e.g. previously learned ones) before checking.
+fn run_core(core: SearchCore, spec: &FormulaSpec, extra: &[Clause]) -> (SatResult, Vec<Clause>) {
+    let mut s = Solver::new();
+    s.set_search_core(core);
+    for f in build(&mut s.table, spec) {
+        s.assert(f);
+    }
+    for c in extra {
+        s.assert(Formula::or(
+            c.lits.iter().cloned().map(Formula::Lit).collect(),
+        ));
+    }
+    let r = s.check();
+    let learned = s.last_learned().to_vec();
+    (r, learned)
+}
+
+fn lit_spec() -> impl Strategy<Value = LitSpec> {
+    (0u8..3, -4i64..=4, [-2i64..=2, -2i64..=2, -2i64..=2])
+}
+
+fn formula_spec() -> impl Strategy<Value = FormulaSpec> {
+    prop::collection::vec(prop::collection::vec(lit_spec(), 1..4), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wherever both cores are definite, they agree.
+    #[test]
+    fn cores_agree_when_definite(spec in formula_spec()) {
+        let (cdcl, _) = run_core(SearchCore::Cdcl, &spec, &[]);
+        let (legacy, _) = run_core(SearchCore::Legacy, &spec, &[]);
+        match (&cdcl, &legacy) {
+            (SatResult::Unknown(_), _) | (_, SatResult::Unknown(_)) => {}
+            _ => prop_assert_eq!(cdcl, legacy, "search cores diverged on {:?}", spec),
+        }
+    }
+
+    /// `Unsat` is sound for both cores: brute-force enumeration over a
+    /// box covering these coefficients must not find a model. Conversely
+    /// a found model forbids `Unsat`.
+    #[test]
+    fn unsat_is_sound_against_brute(spec in formula_spec()) {
+        let mut table = AtomTable::new();
+        let formulas = build(&mut table, &spec);
+        let model = brute::find_model(&formulas, &table, -8, 8).expect("no opaque atoms");
+        for core in [SearchCore::Cdcl, SearchCore::Legacy] {
+            let (r, _) = run_core(core, &spec, &[]);
+            if r == SatResult::Unsat {
+                prop_assert!(
+                    model.is_none(),
+                    "{core:?} refuted a formula with model {model:?}: {spec:?}"
+                );
+            }
+        }
+    }
+
+    /// Learned clauses are consequences: re-asserting everything the CDCL
+    /// core learned changes no verdict — under either core.
+    #[test]
+    fn learned_clauses_are_sound(spec in formula_spec()) {
+        let (first, learned) = run_core(SearchCore::Cdcl, &spec, &[]);
+        let (again, _) = run_core(SearchCore::Cdcl, &spec, &learned);
+        prop_assert_eq!(
+            &first, &again,
+            "re-asserting learned clauses flipped the cdcl verdict on {:?}", spec
+        );
+        let (legacy, _) = run_core(SearchCore::Legacy, &spec, &[]);
+        let (legacy_aug, _) = run_core(SearchCore::Legacy, &spec, &learned);
+        match (&legacy, &legacy_aug) {
+            (SatResult::Unknown(_), _) | (_, SatResult::Unknown(_)) => {}
+            _ => prop_assert_eq!(
+                legacy, legacy_aug,
+                "learned clauses flipped the legacy verdict on {:?}", spec
+            ),
+        }
+    }
+}
+
+/// The seeded regression cases the proptests once minimized to — kept as
+/// plain tests so they never rotate out of the corpus.
+#[test]
+fn pinned_core_agreement_cases() {
+    let cases: Vec<FormulaSpec> = vec![
+        // x = 0 ∧ x ≠ 0 (contradiction through presolve's fixed set).
+        vec![vec![(0, 0, [1, 0, 0])], vec![(1, 0, [1, 0, 0])]],
+        // (x ≤ 0 ∨ y ≤ 0) ∧ 1 - x ≤ 0 ∧ 1 - y ≤ 0 (forces a real split).
+        vec![
+            vec![(2, 0, [1, 0, 0]), (2, 0, [0, 1, 0])],
+            vec![(2, 1, [-1, 0, 0])],
+            vec![(2, 1, [0, -1, 0])],
+        ],
+        // 2x + 1 = 0 (parity/gcd discharge in presolve).
+        vec![vec![(0, 1, [2, 0, 0])]],
+        // x ∈ [0, 1] with both endpoints excluded: the disequality
+        // approximation treats the nes independently, so both cores must
+        // answer the same (spurious) Sat rather than diverge.
+        vec![
+            vec![(2, 0, [-1, 0, 0])],
+            vec![(2, -1, [1, 0, 0])],
+            vec![(1, 0, [1, 0, 0])],
+            vec![(1, -1, [1, 0, 0])],
+        ],
+    ];
+    for spec in &cases {
+        let (cdcl, _) = run_core(SearchCore::Cdcl, spec, &[]);
+        let (legacy, _) = run_core(SearchCore::Legacy, spec, &[]);
+        assert_eq!(cdcl, legacy, "cores diverged on pinned case {spec:?}");
+    }
+}
