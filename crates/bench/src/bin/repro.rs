@@ -14,6 +14,11 @@
 //!                         plus a traced per-phase timing attribution to
 //!                         PATH with a `_phases` suffix
 //!                         (default BENCH_prover_phases.json)
+//! repro bench-kernels [--iters K] [--threads LIST] [--smoke] [--out PATH]
+//!                         real wall-clock of the four-version protocol on
+//!                         the native bytecode backend, bitwise-verified
+//!                         against the simulated interpreter; JSON written
+//!                         to PATH (default BENCH_kernels.json)
 //! repro all [outdir]      everything; CSVs written to outdir (default
 //!                         repro_out/)
 //! repro --scale big ...   closer-to-paper problem sizes (slower)
@@ -85,6 +90,7 @@ fn main() {
         ),
         "lbm" => print!("{}", lbm_report()),
         "bench-prover" => bench_prover(&args[1..]),
+        "bench-kernels" => bench_kernels(&args[1..]),
         "fig3" => print_fig(
             &small_stencil(scale),
             Kind::Absolute,
@@ -128,8 +134,8 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "commands: table1 ablations lbm bench-prover fig3..fig10 all [outdir] \
-                 [--scale small|big]"
+                "commands: table1 ablations lbm bench-prover bench-kernels fig3..fig10 \
+                 all [outdir] [--scale small|big]"
             );
             std::process::exit(2);
         }
@@ -140,8 +146,15 @@ fn main() {
 /// parallel+cached prover against the sequential seed path and record
 /// the result as JSON.
 fn bench_prover(rest: &[String]) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut iters = 12usize;
-    let mut jobs = 4usize;
+    // Default the worker count to what the host can actually run: asking
+    // for more threads than cores makes the "optimized" configuration
+    // *slower* than the sequential baseline (contended oversubscription)
+    // and records an inverted speedup. Explicit `--jobs` is honored.
+    let mut jobs = host.min(4);
     let mut out = "BENCH_prover.json".to_string();
     let mut k = 0;
     while k < rest.len() {
@@ -176,6 +189,12 @@ fn bench_prover(rest: &[String]) {
             }
         }
     }
+    if jobs > host {
+        eprintln!(
+            "bench-prover: warning: --jobs {jobs} exceeds host parallelism {host}; \
+             expect the pool to run slower than the baseline"
+        );
+    }
     let r = formad_bench::prover_bench(iters, jobs);
     let json = formad_bench::prover_bench_json(&r);
     fs::write(&out, &json).expect("write bench output");
@@ -205,6 +224,82 @@ fn bench_prover(rest: &[String]) {
         "bench-prover: traced pass {:.3}s, query time {:.3}s over {} queries \
          ({} hits / {} misses); wrote {phases_out}",
         p.wall_s, p.query_s, p.queries, p.query_hits, p.query_misses
+    );
+}
+
+/// `bench-kernels [--iters K] [--threads LIST] [--smoke] [--out PATH]` —
+/// run the four-version protocol natively (bytecode on real OS threads),
+/// bitwise-verify every cell against the simulated interpreter, and
+/// record wall-clock per discipline as JSON.
+fn bench_kernels(rest: &[String]) {
+    let mut iters = 9usize;
+    let mut threads: Vec<usize> = formad_bench::EXEC_THREADS.to_vec();
+    let mut smoke = false;
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut k = 0;
+    while k < rest.len() {
+        let need = |k: usize| {
+            rest.get(k + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} expects a value", rest[k]);
+                std::process::exit(2);
+            })
+        };
+        match rest[k].as_str() {
+            "--iters" => {
+                iters = need(k).parse().unwrap_or_else(|_| {
+                    eprintln!("--iters expects an integer");
+                    std::process::exit(2);
+                });
+                k += 2;
+            }
+            "--threads" => {
+                threads = need(k)
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--threads expects a comma-separated integer list");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                k += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                k += 1;
+            }
+            "--out" => {
+                out = need(k);
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown bench-kernels option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let r = formad_bench::kernel_bench(iters, &threads, smoke);
+    let json = formad_bench::kernel_bench_json(&r);
+    fs::write(&out, &json).expect("write bench output");
+    print!("{json}");
+    for kd in &r.kernels {
+        let t = kd.check_threads;
+        eprintln!(
+            "bench-kernels: {} @T={t}: FormAD {:.6}s vs atomic {:.6}s vs reduction {:.6}s \
+             (FormAD/atomic measured {:.2}×, cost model predicted {:.2}×, agree: {})",
+            kd.name,
+            kd.best_s("adj-FormAD", t),
+            kd.best_s("adj-atomic", t),
+            kd.best_s("adj-reduction", t),
+            kd.measured_formad_over_atomic,
+            kd.predicted_formad_over_atomic,
+            kd.ordering_agrees
+        );
+    }
+    eprintln!(
+        "bench-kernels: all cells bitwise-identical to the simulated interpreter: {}; \
+         measured orderings match the cost model: {}; wrote {out}",
+        r.all_bitwise, r.orderings_agree
     );
 }
 

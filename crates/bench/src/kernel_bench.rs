@@ -1,0 +1,464 @@
+//! Real-hardware kernel benchmark: the paper's Table-2 protocol executed
+//! on the native bytecode backend.
+//!
+//! For each executable kernel (both stencils, split GFMC, Green-Gauss)
+//! the four-version protocol — *Primal*, *Adjoint FormAD*, *Adjoint
+//! Atomic*, *Adjoint Reduction* — is compiled to flat bytecode and run
+//! on real OS threads via [`formad_machine::NativeEngine`], measuring
+//! wall-clock per iteration with the engine and compiled program reused
+//! across iterations (the paper's steady-state regime).
+//!
+//! Three cross-checks guard the numbers:
+//!
+//! * **bitwise** — every (kernel, version, thread-count) cell is run once
+//!   under the simulated interpreter and the native result must be
+//!   bitwise identical; a divergent backend would invalidate every
+//!   measurement, so the harness panics instead of reporting.
+//! * **ordering** — the simulated cost model predicts which of
+//!   FormAD/atomic is faster at the check thread count; the measured
+//!   wall-clock ordering must be available for comparison (recorded,
+//!   and summarized in `orderings_agree`).
+//! * **discipline** — the per-array increment modes the FormAD version
+//!   actually ran under come straight from the analysis report
+//!   ([`formad::FormadAnalysis::discipline_map`]), not from re-deriving
+//!   anything here.
+//!
+//! Results serialize to JSON by hand (`BENCH_kernels.json` at the repo
+//! root) — same no-serde policy as `BENCH_prover.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use formad_ir::Program;
+use formad_kernels::{GfmcCase, GreenGaussCase, StencilCase};
+use formad_machine::{compile, lower, run, Bindings, Machine, NativeEngine};
+
+use crate::versions::{adjoint_bindings, ProgramVersions};
+
+/// Default thread counts measured (the host rarely has 18 real cores;
+/// oversubscription beyond 4 adds noise without information).
+pub const EXEC_THREADS: [usize; 3] = [1, 2, 4];
+
+/// One kernel of the executable suite: primal, bindings, AD in/outputs.
+struct KernelCase {
+    name: String,
+    program: Program,
+    base: Bindings,
+    indep: &'static [&'static str],
+    dep: &'static [&'static str],
+}
+
+/// The four executable Table-2 kernels (LBM is analysis-only: FormAD
+/// keeps its safeguards, so there is no plain-shared version to race).
+/// `smoke` shrinks the sizes to CI scale — ordering and bitwise checks
+/// still run, wall-clock numbers are too small to mean anything.
+fn cases(smoke: bool) -> Vec<KernelCase> {
+    let (st_n, st_sweeps, gf_ns, gf_reps, gg_nodes, gg_reps) = if smoke {
+        (512, 1, 16, 1, 512, 1)
+    } else {
+        (100_000, 2, 96, 2, 50_000, 2)
+    };
+    let st1 = StencilCase::small(st_n, st_sweeps);
+    let st8 = StencilCase::large(st_n, st_sweeps);
+    let gf = GfmcCase::new(gf_ns, gf_reps);
+    let gg = GreenGaussCase::linear(gg_nodes, gg_reps);
+    vec![
+        KernelCase {
+            name: format!("stencil r=1 n={st_n} sweeps={st_sweeps}"),
+            program: st1.ir(),
+            base: st1.bindings(0xBEEF),
+            indep: StencilCase::independents(),
+            dep: StencilCase::dependents(),
+        },
+        KernelCase {
+            name: format!("stencil r=8 n={st_n} sweeps={st_sweeps}"),
+            program: st8.ir(),
+            base: st8.bindings(0xBEEF),
+            indep: StencilCase::independents(),
+            dep: StencilCase::dependents(),
+        },
+        KernelCase {
+            name: format!("gfmc ns={gf_ns} reps={gf_reps}"),
+            program: gf.ir(),
+            base: gf.bindings_split(0xBEEF),
+            indep: GfmcCase::independents(),
+            dep: GfmcCase::dependents(),
+        },
+        KernelCase {
+            name: format!("green-gauss nodes={gg_nodes} reps={gg_reps}"),
+            program: gg.ir(),
+            base: gg.bindings(0xBEEF),
+            indep: GreenGaussCase::independents(),
+            dep: GreenGaussCase::dependents(),
+        },
+    ]
+}
+
+/// Wall-clock samples of one program version at one thread count.
+#[derive(Debug)]
+pub struct VersionTiming {
+    /// Version label (`primal`, `adj-FormAD`, `adj-atomic`,
+    /// `adj-reduction`).
+    pub version: String,
+    /// OS threads used.
+    pub threads: usize,
+    /// Per-iteration wall-clock (seconds), in measurement order.
+    pub iter_s: Vec<f64>,
+}
+
+impl VersionTiming {
+    /// Fastest iteration — the steady-state estimate benchmarks compare.
+    pub fn best_s(&self) -> f64 {
+        self.iter_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean iteration time.
+    pub fn mean_s(&self) -> f64 {
+        self.iter_s.iter().sum::<f64>() / self.iter_s.len().max(1) as f64
+    }
+}
+
+/// Everything measured for one kernel.
+#[derive(Debug)]
+pub struct KernelExecData {
+    /// Kernel label with problem size.
+    pub name: String,
+    /// True when FormAD proved every adjoint array safe.
+    pub all_safe: bool,
+    /// `(region, array, mode)` — the increment discipline each adjoint
+    /// array ran under in the FormAD version, from the analysis report.
+    pub disciplines: Vec<(usize, String, String)>,
+    /// True: every cell was cross-run under the simulated interpreter and
+    /// found bitwise identical (the harness panics otherwise).
+    pub native_matches_sim: bool,
+    /// Thread count of the ordering cross-check.
+    pub check_threads: usize,
+    /// Simulated cost-model prediction: atomic Gcycles / FormAD Gcycles
+    /// at `check_threads` (> 1 means FormAD predicted faster).
+    pub predicted_formad_over_atomic: f64,
+    /// Measured: best atomic wall-clock / best FormAD wall-clock at
+    /// `check_threads`.
+    pub measured_formad_over_atomic: f64,
+    /// Did the measured ordering match the cost model's prediction?
+    pub ordering_agrees: bool,
+    /// All timings: versions × thread counts.
+    pub series: Vec<VersionTiming>,
+}
+
+impl KernelExecData {
+    /// Did the FormAD adjoint beat the atomic adjoint on real hardware?
+    pub fn formad_beats_atomic(&self) -> bool {
+        self.measured_formad_over_atomic > 1.0
+    }
+
+    /// Best wall-clock of a version at a thread count.
+    pub fn best_s(&self, version: &str, threads: usize) -> f64 {
+        self.series
+            .iter()
+            .find(|s| s.version == version && s.threads == threads)
+            .unwrap_or_else(|| panic!("no series {version} at T={threads}"))
+            .best_s()
+    }
+}
+
+/// Everything `BENCH_kernels.json` records.
+#[derive(Debug)]
+pub struct KernelBenchResult {
+    /// Timed iterations per cell.
+    pub iters: usize,
+    /// Thread counts measured.
+    pub threads: Vec<usize>,
+    /// Smoke sizes?
+    pub smoke: bool,
+    /// Per-kernel data.
+    pub kernels: Vec<KernelExecData>,
+    /// All cells bitwise-verified against the simulated interpreter.
+    pub all_bitwise: bool,
+    /// Every kernel's measured FormAD/atomic ordering matched the cost
+    /// model's prediction.
+    pub orderings_agree: bool,
+}
+
+/// Panic unless the simulated and native results are bitwise identical.
+fn assert_bitwise(kernel: &str, version: &str, threads: usize, sim: &Bindings, nat: &Bindings) {
+    let ctx = |what: &str| format!("{kernel} / {version} at T={threads}: {what}");
+    for (name, v) in &sim.real_scalars {
+        let n = nat.real_scalars.get(name).unwrap_or_else(|| {
+            panic!("{}", ctx(&format!("native lost scalar `{name}`")));
+        });
+        assert_eq!(
+            v.to_bits(),
+            n.to_bits(),
+            "{}",
+            ctx(&format!("scalar `{name}`: sim {v} vs native {n}"))
+        );
+    }
+    for (name, v) in &sim.int_scalars {
+        assert_eq!(
+            nat.int_scalars.get(name),
+            Some(v),
+            "{}",
+            ctx(&format!("int scalar `{name}`"))
+        );
+    }
+    for (name, v) in &sim.real_arrays {
+        let n = nat.real_arrays.get(name).unwrap_or_else(|| {
+            panic!("{}", ctx(&format!("native lost array `{name}`")));
+        });
+        assert_eq!(
+            v.len(),
+            n.len(),
+            "{}",
+            ctx(&format!("array `{name}` length"))
+        );
+        for (k, (a, b)) in v.iter().zip(n).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}",
+                ctx(&format!("array `{name}`[{k}]: sim {a} vs native {b}"))
+            );
+        }
+    }
+    for (name, v) in &sim.int_arrays {
+        assert_eq!(
+            nat.int_arrays.get(name),
+            Some(v),
+            "{}",
+            ctx(&format!("int array `{name}`"))
+        );
+    }
+}
+
+/// Run the benchmark: the four-version protocol over `threads`, `iters`
+/// timed iterations per cell, every cell bitwise-verified against the
+/// simulated interpreter.
+pub fn kernel_bench(iters: usize, threads: &[usize], smoke: bool) -> KernelBenchResult {
+    assert!(iters > 0, "need at least one iteration");
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let check_threads = *threads.iter().max().unwrap();
+    let mut kernels = Vec::new();
+    for case in cases(smoke) {
+        let versions = ProgramVersions::generate(&case.program, case.indep, case.dep);
+        let adj_base = adjoint_bindings(&versions.primal, &case.base, case.indep, case.dep);
+        let disciplines: Vec<(usize, String, String)> = versions
+            .analysis
+            .discipline_map()
+            .into_iter()
+            .map(|(r, a, m)| (r, a, m.to_string()))
+            .collect();
+        let progs: [(&str, &Program, &Bindings); 4] = [
+            ("primal", &versions.primal, &case.base),
+            ("adj-FormAD", &versions.adj_formad, &adj_base),
+            ("adj-atomic", &versions.adj_atomic, &adj_base),
+            ("adj-reduction", &versions.adj_reduction, &adj_base),
+        ];
+        let mut series = Vec::new();
+        let mut gcycles_formad = f64::NAN;
+        let mut gcycles_atomic = f64::NAN;
+        for &t in threads {
+            let mut engine = NativeEngine::new(t);
+            // Compile and verify all four versions first (the verification
+            // pass doubles as warm-up): native vs simulated, bitwise; the
+            // sim run also yields the cost model's cycle prediction for
+            // the ordering cross-check.
+            let mut compiled = Vec::with_capacity(progs.len());
+            for (label, prog, bind) in &progs {
+                let lp = lower(prog, bind)
+                    .unwrap_or_else(|e| panic!("lowering `{}` failed: {e}", prog.name));
+                let bc = compile(&lp, prog)
+                    .unwrap_or_else(|e| panic!("compiling `{}` failed: {e}", prog.name));
+                let mut nat = (*bind).clone();
+                engine
+                    .run(&bc, &mut nat)
+                    .unwrap_or_else(|e| panic!("native run of `{}` failed: {e}", prog.name));
+                let mut sim = (*bind).clone();
+                let res = run(prog, &mut sim, &Machine::with_threads(t))
+                    .unwrap_or_else(|e| panic!("simulated run of `{}` failed: {e}", prog.name));
+                assert_bitwise(&case.name, label, t, &sim, &nat);
+                if t == check_threads {
+                    let g = res.wall_cycles as f64 / 1e9;
+                    match *label {
+                        "adj-FormAD" => gcycles_formad = g,
+                        "adj-atomic" => gcycles_atomic = g,
+                        _ => {}
+                    }
+                }
+                compiled.push((*label, bc, *bind, Vec::with_capacity(iters)));
+            }
+            // Timed iterations, interleaved round-robin across versions:
+            // running each version's iterations back-to-back lets slow
+            // drift (frequency scaling, background load) bias whichever
+            // version happens to run in the quieter window; interleaving
+            // spreads any time-correlated noise evenly over all four.
+            for _ in 0..iters {
+                for (label, bc, bind, iter_s) in &mut compiled {
+                    let mut b = Bindings::clone(bind);
+                    let t0 = Instant::now();
+                    engine
+                        .run(bc, &mut b)
+                        .unwrap_or_else(|e| panic!("native run of `{label}` failed: {e}"));
+                    iter_s.push(t0.elapsed().as_secs_f64());
+                }
+            }
+            for (label, _, _, iter_s) in compiled {
+                series.push(VersionTiming {
+                    version: label.to_string(),
+                    threads: t,
+                    iter_s,
+                });
+            }
+        }
+        let mut data = KernelExecData {
+            name: case.name,
+            all_safe: versions.analysis.all_safe(),
+            disciplines,
+            native_matches_sim: true,
+            check_threads,
+            predicted_formad_over_atomic: gcycles_atomic / gcycles_formad,
+            measured_formad_over_atomic: 0.0,
+            ordering_agrees: false,
+            series,
+        };
+        data.measured_formad_over_atomic =
+            data.best_s("adj-atomic", check_threads) / data.best_s("adj-FormAD", check_threads);
+        data.ordering_agrees =
+            (data.predicted_formad_over_atomic >= 1.0) == (data.measured_formad_over_atomic >= 1.0);
+        kernels.push(data);
+    }
+    KernelBenchResult {
+        iters,
+        threads: threads.to_vec(),
+        smoke,
+        all_bitwise: true,
+        orderings_agree: kernels.iter().all(|k| k.ordering_agrees),
+        kernels,
+    }
+}
+
+fn json_usize_list(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_f64_list(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:.9}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Hand-rolled JSON for [`KernelBenchResult`] — stable key order,
+/// newline-terminated (`BENCH_kernels.json`).
+pub fn kernel_bench_json(r: &KernelBenchResult) -> String {
+    let mut kernels = Vec::new();
+    for k in &r.kernels {
+        let disciplines: Vec<String> = k
+            .disciplines
+            .iter()
+            .map(|(region, array, mode)| {
+                format!(
+                    "        {{\"region\": {region}, \"array\": \"{array}\", \
+                     \"mode\": \"{mode}\"}}"
+                )
+            })
+            .collect();
+        let series: Vec<String> = k
+            .series
+            .iter()
+            .map(|s| {
+                format!(
+                    "        {{\"version\": \"{}\", \"threads\": {}, \
+                     \"best_s\": {:.9}, \"mean_s\": {:.9}, \"iter_s\": {}}}",
+                    s.version,
+                    s.threads,
+                    s.best_s(),
+                    s.mean_s(),
+                    json_f64_list(&s.iter_s)
+                )
+            })
+            .collect();
+        let mut o = String::from("    {\n");
+        let _ = writeln!(o, "      \"name\": \"{}\",", k.name);
+        let _ = writeln!(o, "      \"all_safe\": {},", k.all_safe);
+        let _ = writeln!(
+            o,
+            "      \"disciplines\": [\n{}\n      ],",
+            disciplines.join(",\n")
+        );
+        let _ = writeln!(o, "      \"native_matches_sim\": {},", k.native_matches_sim);
+        let _ = writeln!(o, "      \"check_threads\": {},", k.check_threads);
+        let _ = writeln!(
+            o,
+            "      \"predicted_formad_over_atomic\": {:.4},",
+            k.predicted_formad_over_atomic
+        );
+        let _ = writeln!(
+            o,
+            "      \"measured_formad_over_atomic\": {:.4},",
+            k.measured_formad_over_atomic
+        );
+        let _ = writeln!(o, "      \"ordering_agrees\": {},", k.ordering_agrees);
+        let _ = writeln!(
+            o,
+            "      \"formad_beats_atomic\": {},",
+            k.formad_beats_atomic()
+        );
+        let _ = writeln!(o, "      \"series\": [\n{}\n      ]", series.join(",\n"));
+        o.push_str("    }");
+        kernels.push(o);
+    }
+    format!(
+        "{{\n  \"bench\": \"kernel_exec\",\n  \"backend\": \"native\",\n  \
+         \"iters\": {},\n  \"threads\": {},\n  \"smoke\": {},\n  \
+         \"all_bitwise\": {},\n  \"orderings_agree\": {},\n  \
+         \"kernels\": [\n{}\n  ]\n}}\n",
+        r.iters,
+        json_usize_list(&r.threads),
+        r.smoke,
+        r.all_bitwise,
+        r.orderings_agree,
+        kernels.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_verifies_and_serializes() {
+        let r = kernel_bench(2, &[1, 2], true);
+        assert!(r.all_bitwise);
+        assert_eq!(r.kernels.len(), 4);
+        for k in &r.kernels {
+            assert!(k.native_matches_sim, "{} not verified", k.name);
+            assert!(!k.disciplines.is_empty(), "{} has no disciplines", k.name);
+            assert_eq!(
+                k.series.len(),
+                8,
+                "{}: 4 versions × 2 thread counts",
+                k.name
+            );
+            assert!(k.predicted_formad_over_atomic.is_finite());
+            assert!(k.measured_formad_over_atomic > 0.0);
+        }
+        // The stencils and Green-Gauss are fully proven safe: their FormAD
+        // discipline must be plain everywhere.
+        for k in &r.kernels {
+            if k.name.starts_with("stencil") || k.name.starts_with("green-gauss") {
+                assert!(k.all_safe, "{} should be all-safe", k.name);
+                assert!(
+                    k.disciplines.iter().all(|(_, _, m)| m == "plain"),
+                    "{}: {:?}",
+                    k.name,
+                    k.disciplines
+                );
+            }
+        }
+        let j = kernel_bench_json(&r);
+        assert!(j.contains("\"bench\": \"kernel_exec\""));
+        assert!(j.contains("\"version\": \"adj-FormAD\""));
+        assert!(j.contains("\"mode\": \"plain\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

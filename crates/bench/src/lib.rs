@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod prover_bench;
 pub mod versions;
 
@@ -15,6 +16,9 @@ pub use ablation::{ablation_grid, ablation_text, AblationRow};
 pub use experiments::{
     gfmc_figure, green_gauss_figure, lbm_report, stencil_figure, table1, FigureData, Table1Row,
     PAPER_THREADS,
+};
+pub use kernel_bench::{
+    kernel_bench, kernel_bench_json, KernelBenchResult, KernelExecData, VersionTiming, EXEC_THREADS,
 };
 pub use prover_bench::{
     prover_bench, prover_bench_json, prover_phases, prover_phases_json, PhaseAttribution,

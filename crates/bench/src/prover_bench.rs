@@ -525,9 +525,12 @@ mod tests {
         for want in ["activity", "region-extract", "region-prove"] {
             assert!(names.contains(&want), "missing phase `{want}` in {names:?}");
         }
-        // Misses (first sighting of each canonical query) must be there;
-        // their solved-from-scratch time dominates hit time per query.
-        assert!(r.query_misses > 0);
+        // Since the solver consults the cache only for queries its
+        // presolve prefix cannot discharge, most (possibly all) traced
+        // region queries carry the `off` attribution; hit/miss counts
+        // can only account for a subset of the queries.
+        assert!(r.query_hits + r.query_misses <= r.queries);
+        assert!(r.query_hit_s + r.query_miss_s <= r.query_s + 1e-9);
         let j = prover_phases_json(&r);
         assert!(j.contains("\"bench\": \"prover_phases\""));
         assert!(j.contains("\"phase\": \"region-prove\""));

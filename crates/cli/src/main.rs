@@ -6,6 +6,25 @@
 //! formad explain  FILE [ARRAY] --wrt x --of z    per-array proof narrative
 //! formad adjoint  FILE --wrt x --of z [options]  print the adjoint program
 //! formad versions FILE --wrt x --of z            print all four versions
+//! formad exec     FILE [exec options]            run the program and print
+//!                                                its outputs (pipe an
+//!                                                adjoint from `formad
+//!                                                adjoint` into a file to
+//!                                                execute generated code)
+//!
+//! exec options:
+//!   --backend B        sim (default; tree-walking interpreter with the
+//!                      synthetic cost model) | native (flat register
+//!                      bytecode on real OS threads). Outputs are
+//!                      bitwise-identical between the two.
+//!   --threads N        execution threads for `!$omp parallel do` regions
+//!                      (default 1)
+//!   --set k=v,...      scalar parameter values; every integer parameter
+//!                      must be set (array extents depend on them)
+//!   --seed S           seed for the deterministic fill of real array
+//!                      parameters (values in (-1, 1); default 42).
+//!                      Integer arrays are filled with 1, 2, 3, … so
+//!                      index arrays stay in bounds.
 //!
 //! options:
 //!   --wrt a,b          independent variables (differentiation inputs)
@@ -90,6 +109,14 @@ struct Args {
     /// `None` keeps the `RegionOptions` default (`FORMAD_SEARCH_CORE` or
     /// the built-in CDCL core).
     search_core: Option<SearchCore>,
+    /// `exec`: execution backend, `sim` or `native`.
+    backend: String,
+    /// `exec`: thread count for parallel regions.
+    threads: usize,
+    /// `exec`: scalar parameter assignments, in `--set` order.
+    sets: Vec<(String, String)>,
+    /// `exec`: seed for the deterministic real-array fill.
+    seed: u64,
 }
 
 fn usage() -> ExitCode {
@@ -99,7 +126,9 @@ fn usage() -> ExitCode {
          [--mode formad|serial|atomic|reduction] [--no-stride] \
          [--no-contexts] [--no-increment] [--table1 NAME] \
          [--prover-timeout-ms N] [--deadline-ms N] [--jobs N] [--no-cache] \
-         [--search-core cdcl|legacy] [--trace PATH]"
+         [--search-core cdcl|legacy] [--trace PATH]\n       \
+         formad exec FILE [--backend sim|native] [--threads N] \
+         [--set k=v,...] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -126,6 +155,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         cache: true,
         trace: None,
         search_core: None,
+        backend: "sim".into(),
+        threads: 1,
+        sets: Vec::new(),
+        seed: 42,
     };
     let rest: Vec<String> = argv.collect();
     let mut k = 0;
@@ -209,6 +242,48 @@ fn parse_args() -> Result<Args, ExitCode> {
                     }
                 }
             }
+            "--backend" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                if !matches!(raw.as_str(), "sim" | "native") {
+                    eprintln!("--backend expects `sim` or `native`, got `{raw}`");
+                    return Err(usage());
+                }
+                args.backend = raw.clone();
+            }
+            "--threads" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => args.threads = n,
+                    _ => {
+                        eprintln!("--threads expects a positive integer, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--set" => {
+                k += 1;
+                for pair in rest.get(k).ok_or_else(usage)?.split(',') {
+                    let Some((name, value)) = pair.split_once('=') else {
+                        eprintln!("--set expects k=v pairs, got `{pair}`");
+                        return Err(usage());
+                    };
+                    args.sets
+                        .push((name.trim().to_string(), value.trim().to_string()));
+                }
+            }
+            "--seed" => {
+                k += 1;
+                let raw = rest.get(k).ok_or_else(usage)?;
+                match raw.parse::<u64>() {
+                    Ok(s) => args.seed = s,
+                    Err(_) => {
+                        eprintln!("--seed expects an integer, got `{raw}`");
+                        return Err(usage());
+                    }
+                }
+            }
             "--no-cache" => args.cache = false,
             "--no-stride" => args.stride = false,
             "--no-contexts" => args.contexts = false,
@@ -224,7 +299,9 @@ fn parse_args() -> Result<Args, ExitCode> {
         }
         k += 1;
     }
-    if args.wrt.is_empty() || args.of.is_empty() {
+    // `exec` runs the program as-is; everything else differentiates and
+    // needs the independent/dependent sets.
+    if args.command != "exec" && (args.wrt.is_empty() || args.of.is_empty()) {
         eprintln!("--wrt and --of are required");
         return Err(usage());
     }
@@ -332,9 +409,160 @@ fn write_trace(args: &Args, sink: &Option<TraceSink>) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// Deterministic fill for a real array parameter: a splitmix64 stream
+/// keyed by the seed and the array name, mapped into (-1, 1). Keyed per
+/// name so reordering `--set` flags or declarations never changes data.
+fn fill_real(name: &str, seed: u64, len: usize) -> Vec<f64> {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64; // FNV-1a over the name
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut s = seed ^ h;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// `formad exec`: bind parameters, run on the chosen backend, print the
+/// `intent(out)`/`intent(inout)` results. The two backends are
+/// bitwise-identical, so this output can be diffed across them directly.
+fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
+    use formad_ir::{Intent, Ty};
+    use formad_machine::{lower, run, run_native, Bindings, Machine};
+
+    let mut bind = Bindings::new();
+    for (name, raw) in &args.sets {
+        let Some(d) = primal.params.iter().find(|d| d.name == *name) else {
+            eprintln!("--set: `{name}` is not a parameter of `{}`", primal.name);
+            return ExitCode::from(2);
+        };
+        if d.is_array() {
+            eprintln!("--set: `{name}` is an array (only scalars can be set)");
+            return ExitCode::from(2);
+        }
+        match d.ty {
+            Ty::Int => match raw.parse::<i64>() {
+                Ok(v) => {
+                    bind.int_scalars.insert(name.clone(), v);
+                }
+                Err(_) => {
+                    eprintln!("--set: integer `{name}` got non-integer `{raw}`");
+                    return ExitCode::from(2);
+                }
+            },
+            Ty::Real => match raw.parse::<f64>() {
+                Ok(v) => {
+                    bind.real_scalars.insert(name.clone(), v);
+                }
+                Err(_) => {
+                    eprintln!("--set: real `{name}` got non-numeric `{raw}`");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    for d in &primal.params {
+        if d.is_array() {
+            continue;
+        }
+        match d.ty {
+            // Array extents are expressions over the integer parameters,
+            // so a missing one cannot be defaulted meaningfully.
+            Ty::Int if !bind.int_scalars.contains_key(&d.name) => {
+                eprintln!(
+                    "integer parameter `{}` needs a value: --set {}=N",
+                    d.name, d.name
+                );
+                return ExitCode::from(2);
+            }
+            Ty::Real => {
+                bind.real_scalars.entry(d.name.clone()).or_insert(0.0);
+            }
+            _ => {}
+        }
+    }
+    // Lowering evaluates the declared extents against the scalar
+    // bindings — reuse it to size the array parameters.
+    let lp = match lower(primal, &bind) {
+        Ok(lp) => lp,
+        Err(e) => {
+            eprintln!("{e}");
+            return code_for(FormadErrorKind::Validate);
+        }
+    };
+    for d in &primal.params {
+        if !d.is_array() {
+            continue;
+        }
+        let len = lp.arrays[lp.array_ids[&d.name] as usize].len;
+        match d.ty {
+            Ty::Real => {
+                bind.real_arrays
+                    .insert(d.name.clone(), fill_real(&d.name, args.seed, len));
+            }
+            // 1, 2, 3, … so integer arrays used as subscripts stay within
+            // the 1-based bounds of same-extent arrays.
+            Ty::Int => {
+                bind.int_arrays
+                    .insert(d.name.clone(), (1..=len as i64).collect());
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let res = match args.backend.as_str() {
+        "native" => run_native(primal, &mut bind, args.threads),
+        _ => run(primal, &mut bind, &Machine::with_threads(args.threads)).map(|_| ()),
+    };
+    let elapsed = t0.elapsed();
+    if let Err(e) = res {
+        eprintln!("execution failed: {e}");
+        return code_for(FormadErrorKind::Validate);
+    }
+    eprintln!(
+        "formad: exec `{}` backend={} threads={} in {:.6}s",
+        primal.name,
+        args.backend,
+        args.threads,
+        elapsed.as_secs_f64()
+    );
+    for d in &primal.params {
+        if !matches!(d.intent, Intent::Out | Intent::InOut) {
+            continue;
+        }
+        match (d.is_array(), d.ty) {
+            (false, Ty::Real) => {
+                println!("{} = {:.17e}", d.name, bind.real_scalars[&d.name]);
+            }
+            (false, Ty::Int) => println!("{} = {}", d.name, bind.int_scalars[&d.name]),
+            (true, Ty::Real) => {
+                let a = &bind.real_arrays[&d.name];
+                let sum: f64 = a.iter().sum();
+                println!("{}: len={} sum={:.17e}", d.name, a.len(), sum);
+            }
+            (true, Ty::Int) => {
+                let a = &bind.int_arrays[&d.name];
+                let sum: i64 = a.iter().sum();
+                println!("{}: len={} sum={}", d.name, a.len(), sum);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     if std::env::var_os("FORMAD_INTERNAL_PANIC").is_some() {
         panic!("FORMAD_INTERNAL_PANIC test hook tripped");
+    }
+    if args.command == "exec" {
+        return exec_cmd(args, primal);
     }
     let wrt: Vec<&str> = args.wrt.iter().map(|s| s.as_str()).collect();
     let of: Vec<&str> = args.of.iter().map(|s| s.as_str()).collect();

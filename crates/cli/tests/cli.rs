@@ -515,6 +515,94 @@ fn trace_file_is_written_and_schema_valid() {
     assert_eq!(events_only(&doc1), events_only(&doc4));
 }
 
+const AXPY_F: &str = r#"
+subroutine axpy(n, a, x, y)
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+  !$omp parallel do shared(x, y)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end subroutine
+"#;
+
+#[test]
+fn exec_runs_both_backends_with_identical_output() {
+    let f = write_temp("axpy.f90", AXPY_F);
+    let run_with = |backend: &str, threads: &str| {
+        let (out, err, ok) = formad(&[
+            "exec",
+            f.to_str().unwrap(),
+            "--set",
+            "n=64,a=0.5",
+            "--backend",
+            backend,
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "{err}");
+        assert!(err.contains(&format!("backend={backend}")), "{err}");
+        out
+    };
+    let sim = run_with("sim", "1");
+    assert!(sim.contains("y: len=64 sum="), "{sim}");
+    // The bytecode executor is bitwise-identical to the interpreter, so
+    // the printed sums match exactly — at any thread count.
+    assert_eq!(sim, run_with("native", "1"));
+    assert_eq!(sim, run_with("native", "4"));
+    assert_eq!(sim, run_with("sim", "4"));
+}
+
+#[test]
+fn exec_runs_generated_adjoints() {
+    // Close the loop: differentiate, write the adjoint out, execute it
+    // natively. The adjoint of axpy seeds xb += a * yb.
+    let f = write_temp("axpy2.f90", AXPY_F);
+    let (adj, _, ok) = formad(&["adjoint", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);
+    assert!(ok);
+    let g = write_temp("axpy_b.f90", &adj);
+    let (out, err, ok) = formad(&[
+        "exec",
+        g.to_str().unwrap(),
+        "--set",
+        "n=32,a=2.0",
+        "--backend",
+        "native",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("xb: len=32 sum="), "{out}");
+}
+
+#[test]
+fn exec_usage_errors() {
+    let f = write_temp("axpy3.f90", AXPY_F);
+    // Integer parameters cannot be defaulted (extents depend on them).
+    let (_, err, ok) = formad(&["exec", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("integer parameter `n` needs a value"), "{err}");
+    // Unknown backend is a usage error.
+    assert_eq!(
+        formad_code(&[
+            "exec",
+            f.to_str().unwrap(),
+            "--set",
+            "n=8",
+            "--backend",
+            "cuda"
+        ]),
+        2
+    );
+    // Setting a non-parameter is a usage error.
+    let (_, err, ok) = formad(&["exec", f.to_str().unwrap(), "--set", "n=8,zz=1"]);
+    assert!(!ok);
+    assert!(err.contains("`zz` is not a parameter"), "{err}");
+}
+
 #[test]
 fn explain_narrates_decisions() {
     let f = write_temp("explain.f90", FIG2_F);

@@ -70,6 +70,23 @@ impl FormadAnalysis {
     pub fn recovered_panics(&self) -> u64 {
         self.regions.iter().map(|r| r.recovered_panics).sum()
     }
+
+    /// Flatten the derived plan into `(region, array, mode)` triples in
+    /// deterministic (region pre-order, array name) order — the
+    /// report-to-discipline record an execution backend or benchmark
+    /// embeds next to measured numbers to show *which* increment
+    /// discipline each adjoint array actually ran under.
+    pub fn discipline_map(&self) -> Vec<(usize, String, IncMode)> {
+        let mut out = Vec::new();
+        for (ri, region) in self.regions.iter().enumerate() {
+            let mut arrays: Vec<&String> = region.decisions.keys().collect();
+            arrays.sort();
+            for arr in arrays {
+                out.push((ri, arr.clone(), self.plan.mode_of(ri, arr)));
+            }
+        }
+        out
+    }
 }
 
 /// Classification of pipeline errors; each kind maps to a distinct CLI

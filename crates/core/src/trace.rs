@@ -57,7 +57,9 @@ pub enum CacheAttr {
     Hit,
     /// Consulted the cache and missed.
     Miss,
-    /// No cache was attached.
+    /// The cache was never consulted: none attached, or the solver's
+    /// presolve prefix discharged the query before the cache fast path
+    /// (canonicalizing such queries costs more than answering them).
     #[default]
     Off,
 }

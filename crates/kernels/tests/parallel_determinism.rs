@@ -127,18 +127,22 @@ fn cache_on_and_off_verdicts_agree_on_every_kernel() {
             "{name}: cached and uncached analyses disagree"
         );
     }
-    // Re-analyze the first kernel against the now-warm cache: every
-    // definite query must be served from it.
-    let (name, program, indep, dep) = suite().remove(0);
+    // The solver keys only presolve-hard queries (everything else is
+    // discharged before the cache fast path), so not every kernel
+    // produces cache traffic. Re-analyze the whole suite against the
+    // now-warm cache: the hard queries that populated it must now be
+    // served from it.
+    assert!(shared.inserts() > 0, "cache was never populated");
     let hits_before = shared.hits();
-    let _ = analyze_with(&program, &indep, &dep, |o| {
-        o.region.cache = Some(shared.clone());
-    });
+    for (_, program, indep, dep) in suite() {
+        let _ = analyze_with(&program, &indep, &dep, |o| {
+            o.region.cache = Some(shared.clone());
+        });
+    }
     assert!(
         shared.hits() > hits_before,
-        "{name}: warm cache served no hits (hits stayed at {hits_before})"
+        "warm cache served no hits (hits stayed at {hits_before})"
     );
-    assert!(shared.inserts() > 0, "cache was never populated");
 }
 
 #[test]

@@ -1,0 +1,884 @@
+//! Real-hardware execution of compiled bytecode.
+//!
+//! [`NativeEngine`] runs a [`BcProgram`] on real OS threads: sequential
+//! code interprets the flat instruction array directly; every
+//! `!$omp parallel do` region is dispatched to a persistent
+//! [`formad_runtime::ThreadPool`] with the **same static chunk
+//! scheduling** the simulated machine uses (value-ascending ranks,
+//! `div_ceil` chunks), so thread `t` executes — and tapes — exactly the
+//! iterations simulated thread `t` does, and results are bitwise equal
+//! to the interpreter's. Logical threads are multiplexed onto at most
+//! the host's physically available cores (see [`NativeEngine::new`]).
+//!
+//! Memory model: array elements are accessed through relaxed
+//! `AtomicU64`/`AtomicI64` views (plain `mov`s on x86-64, so the
+//! FormAD-proved *plain* discipline pays nothing), and `!$omp atomic`
+//! increments use an acquire-release CAS loop — the same discipline as
+//! [`formad_runtime::AtomicF64`]. `reduction(+: arr)` clauses privatize
+//! into reusable per-thread buffers merged in ascending thread order,
+//! replicating the interpreter's combine order bit for bit.
+//!
+//! Per-thread state (register-file copies, tapes, reduction buffers) is
+//! allocated once per engine and reused across regions and runs, so the
+//! hot loop performs no allocation.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use formad_ir::{BinOp, CmpOp, Intrinsic, Program, RedOp, Ty};
+use formad_runtime::ThreadPool;
+
+use crate::bindings::{Bindings, ExecError};
+use crate::bytecode::{compile, BcParam, BcProgram, BcRegion, Instr};
+use crate::lower::lower;
+
+/// Compile `prog` against `bind` and run it with `threads` logical
+/// threads, writing parameter results back into `bind` — the native
+/// counterpart of [`crate::interp::run`]. For repeated execution, keep a
+/// [`NativeEngine`] and a compiled [`BcProgram`] instead.
+pub fn run_native(prog: &Program, bind: &mut Bindings, threads: usize) -> Result<(), ExecError> {
+    let lp = lower(prog, bind)?;
+    let bc = compile(&lp, prog)?;
+    let mut eng = NativeEngine::new(threads);
+    eng.run(&bc, bind)
+}
+
+// ---- shared-memory array views ----
+
+/// Raw view of one array's storage; elements are accessed with relaxed
+/// atomics so concurrent disjoint writes from pool workers are defined
+/// behaviour (f64 bits travel through `AtomicU64`).
+#[derive(Clone, Copy)]
+struct RawView {
+    ptr: *mut u64,
+    len: usize,
+}
+
+unsafe impl Send for RawView {}
+unsafe impl Sync for RawView {}
+
+impl RawView {
+    #[inline]
+    fn load_r(&self, off: usize) -> f64 {
+        debug_assert!(off < self.len);
+        f64::from_bits(unsafe {
+            (*(self.ptr.add(off) as *const AtomicU64)).load(Ordering::Relaxed)
+        })
+    }
+
+    #[inline]
+    fn store_r(&self, off: usize, v: f64) {
+        debug_assert!(off < self.len);
+        unsafe { (*(self.ptr.add(off) as *const AtomicU64)).store(v.to_bits(), Ordering::Relaxed) }
+    }
+
+    /// `!$omp atomic` increment: acquire-release CAS loop, the same
+    /// protocol as `formad_runtime::AtomicF64::fetch_add`.
+    #[inline]
+    fn fetch_add_r(&self, off: usize, v: f64) {
+        debug_assert!(off < self.len);
+        let cell = unsafe { &*(self.ptr.add(off) as *const AtomicU64) };
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    #[inline]
+    fn load_i(&self, off: usize) -> i64 {
+        debug_assert!(off < self.len);
+        unsafe { (*(self.ptr.add(off) as *const AtomicI64)).load(Ordering::Relaxed) }
+    }
+
+    #[inline]
+    fn store_i(&self, off: usize, v: i64) {
+        debug_assert!(off < self.len);
+        unsafe { (*(self.ptr.add(off) as *const AtomicI64)).store(v, Ordering::Relaxed) }
+    }
+}
+
+/// Per-array views for one run (indexed by `ArrId`).
+struct Mem {
+    views: Vec<RawView>,
+}
+
+// ---- per-thread state ----
+
+/// Per-thread mutable slots with interior mutability. Soundness
+/// contract: slot `t` is touched only by pool worker `t` while a region
+/// runs, and only by the main thread otherwise — accesses are disjoint
+/// in time and index, never concurrent on the same slot.
+struct PerThread<T> {
+    slots: Vec<UnsafeCell<T>>,
+}
+
+unsafe impl<T: Send> Sync for PerThread<T> {}
+
+impl<T: Default> PerThread<T> {
+    fn new(n: usize) -> PerThread<T> {
+        PerThread {
+            slots: (0..n).map(|_| UnsafeCell::new(T::default())).collect(),
+        }
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(UnsafeCell::new(T::default()));
+        }
+    }
+
+    /// See the type-level contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, t: usize) -> &mut T {
+        &mut *self.slots[t].get()
+    }
+}
+
+/// Value tapes of one (simulated or real) thread. Tape `t` is pushed by
+/// whichever code runs as thread `t` — the main thread between regions
+/// (as thread 0) and pool worker `t` inside them — and persists across
+/// regions, which is what lets a reversed parallel loop pop values its
+/// forward twin pushed.
+#[derive(Default)]
+struct Tapes {
+    r: Vec<f64>,
+    i: Vec<i64>,
+}
+
+/// Reusable worker scratch: register-file copy and reduction buffers.
+#[derive(Default)]
+struct Scratch {
+    reals: Vec<f64>,
+    ints: Vec<i64>,
+    /// `ArrId → index into red_bufs`, `u16::MAX` when not a reduction
+    /// array in the current region.
+    red_map: Vec<u16>,
+    red_bufs: Vec<Vec<f64>>,
+    err: Option<ExecError>,
+    participated: bool,
+}
+
+/// Redirects real-array accesses of reduction arrays to the worker's
+/// privatized buffer (everything else goes to shared memory).
+struct Redirect<'a> {
+    map: &'a [u16],
+    bufs: &'a mut [Vec<f64>],
+}
+
+enum Exit {
+    Done,
+    Par { region: u16, resume: usize },
+}
+
+// ---- the engine ----
+
+/// A reusable native executor: persistent thread pool plus per-thread
+/// tapes and scratch buffers.
+///
+/// `threads` is the number of *logical* threads — it fixes the static
+/// chunk schedule, the per-thread tapes, and the reduction merge order,
+/// exactly like the simulated machine's thread count. Logical threads
+/// are multiplexed onto at most `os_threads` real OS workers: asking a
+/// host for more threads than it has cores adds context-switch noise
+/// without adding parallelism, so [`NativeEngine::new`] clamps the
+/// worker count to the host's available parallelism. Results are
+/// bitwise-independent of the multiplexing because every logical thread
+/// owns its register file, tape, and reduction buffers.
+pub struct NativeEngine {
+    threads: usize,
+    os_threads: usize,
+    pool: ThreadPool,
+    tapes: PerThread<Tapes>,
+    scratch: PerThread<Scratch>,
+}
+
+impl NativeEngine {
+    /// An engine with `threads` logical threads on at most
+    /// `min(threads, host parallelism)` OS workers.
+    pub fn new(threads: usize) -> NativeEngine {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        NativeEngine::with_os_threads(threads, threads.min(host))
+    }
+
+    /// An engine with an explicit OS-worker count (clamped to
+    /// `1..=threads`). Tests use this to force genuinely concurrent
+    /// workers even on small hosts.
+    pub fn with_os_threads(threads: usize, os_threads: usize) -> NativeEngine {
+        let threads = threads.max(1);
+        let os = os_threads.clamp(1, threads);
+        NativeEngine {
+            threads,
+            os_threads: os,
+            // One worker runs regions inline on the caller's thread.
+            pool: ThreadPool::new(if os > 1 { os } else { 0 }),
+            tapes: PerThread::new(threads),
+            scratch: PerThread::new(threads),
+        }
+    }
+
+    /// The configured logical thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The OS workers parallel regions actually run on.
+    pub fn os_threads(&self) -> usize {
+        self.os_threads
+    }
+
+    /// Execute `bc` against `bind`: parameters are read from the
+    /// bindings and written back afterwards, locals zero-initialized —
+    /// the same contract (and the same error messages) as the simulated
+    /// interpreter.
+    pub fn run(&mut self, bc: &BcProgram, bind: &mut Bindings) -> Result<(), ExecError> {
+        let mut reals = vec![0.0f64; bc.n_real_regs];
+        let mut ints = vec![0i64; bc.n_int_regs];
+        let param_names: Vec<&str> = bc
+            .params
+            .iter()
+            .map(|p| match p {
+                BcParam::RealScalar(n, _) | BcParam::IntScalar(n, _) | BcParam::Array(n, _) => {
+                    n.as_str()
+                }
+            })
+            .collect();
+        for (name, (slot, ty)) in &bc.scalar_slots {
+            match ty {
+                Ty::Real => {
+                    if let Some(v) = bind.real_scalars.get(name) {
+                        reals[*slot as usize] = *v;
+                    } else if param_names.contains(&name.as_str()) {
+                        return Err(ExecError::new(format!("parameter `{name}` is unbound")));
+                    }
+                }
+                Ty::Int => {
+                    if let Some(v) = bind.int_scalars.get(name) {
+                        ints[*slot as usize] = *v;
+                    } else if param_names.contains(&name.as_str()) {
+                        return Err(ExecError::new(format!("parameter `{name}` is unbound")));
+                    }
+                }
+            }
+        }
+        let mut arr_r: Vec<Vec<f64>> = Vec::with_capacity(bc.arrays.len());
+        let mut arr_i: Vec<Vec<i64>> = Vec::with_capacity(bc.arrays.len());
+        for meta in &bc.arrays {
+            let is_param = param_names.contains(&meta.name.as_str());
+            match meta.ty {
+                Ty::Real => {
+                    let data = fetch_array(&bind.real_arrays, meta, is_param, 0.0)?;
+                    arr_r.push(data);
+                    arr_i.push(Vec::new());
+                }
+                Ty::Int => {
+                    let data = fetch_array(&bind.int_arrays, meta, is_param, 0i64)?;
+                    arr_i.push(data);
+                    arr_r.push(Vec::new());
+                }
+            }
+        }
+        let mem = Mem {
+            views: bc
+                .arrays
+                .iter()
+                .enumerate()
+                .map(|(k, meta)| match meta.ty {
+                    Ty::Real => RawView {
+                        ptr: arr_r[k].as_mut_ptr() as *mut u64,
+                        len: arr_r[k].len(),
+                    },
+                    Ty::Int => RawView {
+                        ptr: arr_i[k].as_mut_ptr() as *mut u64,
+                        len: arr_i[k].len(),
+                    },
+                })
+                .collect(),
+        };
+
+        self.tapes.grow_to(self.threads);
+        self.scratch.grow_to(self.threads);
+        for t in 0..self.threads {
+            // Exclusive: no region is running.
+            let tp = unsafe { self.tapes.get(t) };
+            tp.r.clear();
+            tp.i.clear();
+        }
+
+        let mut pc = 0usize;
+        loop {
+            let exit = exec_code(
+                bc,
+                &bc.code,
+                pc,
+                &mut reals,
+                &mut ints,
+                &mem,
+                &self.tapes,
+                0,
+                None,
+            )?;
+            match exit {
+                Exit::Done => break,
+                Exit::Par { region, resume } => {
+                    self.run_region(
+                        bc,
+                        &bc.regions[region as usize],
+                        &mut reals,
+                        &mut ints,
+                        &mem,
+                    )?;
+                    pc = resume;
+                }
+            }
+        }
+
+        // Views are dead from here on; arrays are exclusively ours again.
+        drop(mem);
+        for p in &bc.params {
+            match p {
+                BcParam::RealScalar(name, slot) => {
+                    bind.real_scalars
+                        .insert(name.clone(), reals[*slot as usize]);
+                }
+                BcParam::IntScalar(name, slot) => {
+                    bind.int_scalars.insert(name.clone(), ints[*slot as usize]);
+                }
+                BcParam::Array(name, id) => match bc.arrays[*id as usize].ty {
+                    Ty::Real => {
+                        bind.real_arrays
+                            .insert(name.clone(), std::mem::take(&mut arr_r[*id as usize]));
+                    }
+                    Ty::Int => {
+                        bind.int_arrays
+                            .insert(name.clone(), std::mem::take(&mut arr_i[*id as usize]));
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    fn run_region(
+        &self,
+        bc: &BcProgram,
+        reg: &BcRegion,
+        reals: &mut [f64],
+        ints: &mut [i64],
+        mem: &Mem,
+    ) -> Result<(), ExecError> {
+        let lo = ints[reg.lo as usize];
+        let hi = ints[reg.hi as usize];
+        let step = ints[reg.step as usize];
+        if step == 0 {
+            return Err(ExecError::new("zero loop step"));
+        }
+        let count: i64 = if step > 0 {
+            if hi < lo {
+                0
+            } else {
+                (hi - lo) / step + 1
+            }
+        } else if hi > lo {
+            0
+        } else {
+            (lo - hi) / (-step) + 1
+        };
+        if count == 0 {
+            return Ok(());
+        }
+        let t_n = self.threads;
+        let chunk = (count as usize).div_ceil(t_n);
+        let n_arrays = bc.arrays.len();
+
+        let worker = |t: usize| {
+            // Sound: worker `t` is the only toucher of slots `t` now.
+            let scratch = unsafe { self.scratch.get(t) };
+            scratch.err = None;
+            scratch.participated = false;
+            let a_begin = (t * chunk) as i64;
+            let a_end = (((t + 1) * chunk).min(count as usize)) as i64;
+            if a_begin >= a_end {
+                return;
+            }
+            scratch.participated = true;
+            // Private copy of the whole register file: privates start at
+            // region-entry values, exactly like the interpreter.
+            scratch.reals.clear();
+            scratch.reals.extend_from_slice(reals);
+            scratch.ints.clear();
+            scratch.ints.extend_from_slice(ints);
+            // Identity-initialize reductions for this thread.
+            for (op, s, is_real) in &reg.red_scalars {
+                if *is_real {
+                    scratch.reals[*s as usize] = identity(*op);
+                } else {
+                    scratch.ints[*s as usize] = identity(*op) as i64;
+                }
+            }
+            scratch.red_map.clear();
+            scratch.red_map.resize(n_arrays, u16::MAX);
+            for (k, (op, id)) in reg.red_arrays.iter().enumerate() {
+                scratch.red_map[*id as usize] = k as u16;
+                if scratch.red_bufs.len() <= k {
+                    scratch.red_bufs.push(Vec::new());
+                }
+                let buf = &mut scratch.red_bufs[k];
+                buf.clear();
+                buf.resize(bc.arrays[*id as usize].len, identity(*op));
+            }
+            let Scratch {
+                reals: w_reals,
+                ints: w_ints,
+                red_map,
+                red_bufs,
+                err,
+                ..
+            } = scratch;
+            let mut redirect = Redirect {
+                map: red_map,
+                bufs: red_bufs,
+            };
+            // Ascending ranks in loop order (descending loops walk their
+            // chunk backwards) — identical to the simulated machine.
+            let ranks: Box<dyn Iterator<Item = i64>> = if step > 0 {
+                Box::new(a_begin..a_end)
+            } else {
+                Box::new((a_begin..a_end).rev())
+            };
+            for a in ranks {
+                let v = if step > 0 {
+                    lo + a * step
+                } else {
+                    lo + (count - 1 - a) * step
+                };
+                w_ints[reg.var as usize] = v;
+                let r = exec_code(
+                    bc,
+                    &reg.code,
+                    0,
+                    w_reals,
+                    w_ints,
+                    mem,
+                    &self.tapes,
+                    t,
+                    Some(&mut redirect),
+                );
+                match r {
+                    Ok(Exit::Done) => {}
+                    Ok(Exit::Par { .. }) => unreachable!("nested regions rejected at compile"),
+                    Err(e) => {
+                        *err = Some(e);
+                        return;
+                    }
+                }
+            }
+        };
+
+        // Multiplex the logical threads onto the OS workers (round-robin
+        // by rank). Each logical thread is claimed by exactly one worker,
+        // so its scratch slot and tape stay single-toucher.
+        let os = self.os_threads.min(t_n);
+        if os <= 1 {
+            for t in 0..t_n {
+                worker(t);
+            }
+        } else {
+            self.pool.run(os, &|w| {
+                let mut t = w;
+                while t < t_n {
+                    worker(t);
+                    t += os;
+                }
+            });
+        }
+
+        // First error in thread order — the order the simulated machine
+        // would have encountered it.
+        for t in 0..t_n {
+            let scratch = unsafe { self.scratch.get(t) };
+            if let Some(e) = scratch.err.take() {
+                return Err(e);
+            }
+        }
+
+        // Merge reductions in ascending thread order over participating
+        // threads, then combine onto the pre-region value — the exact
+        // association the interpreter uses.
+        if !reg.red_scalars.is_empty() {
+            for (op, s, is_real) in &reg.red_scalars {
+                let mut acc = identity(*op);
+                for t in 0..t_n {
+                    let scratch = unsafe { self.scratch.get(t) };
+                    if !scratch.participated {
+                        continue;
+                    }
+                    let part = if *is_real {
+                        scratch.reals[*s as usize]
+                    } else {
+                        scratch.ints[*s as usize] as f64
+                    };
+                    acc = combine(*op, acc, part);
+                }
+                if *is_real {
+                    let saved = reals[*s as usize];
+                    reals[*s as usize] = combine(*op, saved, acc);
+                } else {
+                    let saved = ints[*s as usize] as f64;
+                    ints[*s as usize] = combine(*op, saved, acc) as i64;
+                }
+            }
+        }
+        for (k, (op, id)) in reg.red_arrays.iter().enumerate() {
+            let view = mem.views[*id as usize];
+            let len = bc.arrays[*id as usize].len;
+            let mut acc = vec![identity(*op); len];
+            for t in 0..t_n {
+                let scratch = unsafe { self.scratch.get(t) };
+                if !scratch.participated {
+                    continue;
+                }
+                for (a, v) in acc.iter_mut().zip(&scratch.red_bufs[k]) {
+                    *a = combine(*op, *a, *v);
+                }
+            }
+            for (j, a) in acc.iter().enumerate() {
+                view.store_r(j, combine(*op, view.load_r(j), *a));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fetch_array<T: Clone>(
+    bound: &HashMap<String, Vec<T>>,
+    meta: &crate::bytecode::BcArray,
+    is_param: bool,
+    zero: T,
+) -> Result<Vec<T>, ExecError> {
+    match bound.get(&meta.name) {
+        Some(v) => {
+            if v.len() != meta.len {
+                return Err(ExecError::new(format!(
+                    "array `{}` bound with {} elements, declared {}",
+                    meta.name,
+                    v.len(),
+                    meta.len
+                )));
+            }
+            Ok(v.clone())
+        }
+        None if is_param => Err(ExecError::new(format!(
+            "parameter array `{}` is unbound",
+            meta.name
+        ))),
+        None => Ok(vec![zero; meta.len]),
+    }
+}
+
+// ---- the instruction loop ----
+
+/// Execute `code` from `pc` until `Halt` or `EnterPar`. Used for both
+/// the main program (thread 0's tape, no redirect) and region bodies
+/// (worker tape, reduction redirect).
+#[allow(clippy::too_many_arguments)]
+fn exec_code(
+    bc: &BcProgram,
+    code: &[Instr],
+    mut pc: usize,
+    reals: &mut [f64],
+    ints: &mut [i64],
+    mem: &Mem,
+    tapes: &PerThread<Tapes>,
+    tape_id: usize,
+    mut redirect: Option<&mut Redirect<'_>>,
+) -> Result<Exit, ExecError> {
+    macro_rules! rr {
+        ($r:expr) => {
+            reals[$r as usize]
+        };
+    }
+    macro_rules! ii {
+        ($r:expr) => {
+            ints[$r as usize]
+        };
+    }
+    loop {
+        let instr = code[pc];
+        pc += 1;
+        match instr {
+            Instr::ConstR { dst, v } => rr!(dst) = v,
+            Instr::ConstI { dst, v } => ii!(dst) = v,
+            Instr::MovR { dst, src } => rr!(dst) = rr!(src),
+            Instr::MovI { dst, src } => ii!(dst) = ii!(src),
+            Instr::ItoR { dst, src } => rr!(dst) = ii!(src) as f64,
+            Instr::BinR { op, dst, a, b } => {
+                let x = rr!(a);
+                let y = rr!(b);
+                rr!(dst) = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                    BinOp::Mod => return Err(ExecError::new("mod in real context")),
+                };
+            }
+            Instr::BinI { op, dst, a, b } => {
+                let x = ii!(a);
+                let y = ii!(b);
+                ii!(dst) = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(ExecError::new("integer division by zero"));
+                        }
+                        x / y
+                    }
+                    BinOp::Mod => {
+                        if y == 0 {
+                            return Err(ExecError::new("mod by zero"));
+                        }
+                        x % y
+                    }
+                    BinOp::Pow => {
+                        if y < 0 {
+                            return Err(ExecError::new("negative integer exponent"));
+                        }
+                        x.checked_pow(y as u32)
+                            .ok_or_else(|| ExecError::new("integer overflow in **"))?
+                    }
+                };
+            }
+            Instr::NegR { dst, a } => rr!(dst) = -rr!(a),
+            Instr::NegI { dst, a } => ii!(dst) = -ii!(a),
+            Instr::Call1R { f, dst, a } => {
+                let x = rr!(a);
+                rr!(dst) = match f {
+                    Intrinsic::Sin => x.sin(),
+                    Intrinsic::Cos => x.cos(),
+                    Intrinsic::Exp => x.exp(),
+                    Intrinsic::Log => x.ln(),
+                    Intrinsic::Sqrt => x.sqrt(),
+                    Intrinsic::Tanh => x.tanh(),
+                    Intrinsic::Abs => x.abs(),
+                    Intrinsic::Min | Intrinsic::Max => {
+                        unreachable!("binary intrinsic compiled as Call1R")
+                    }
+                };
+            }
+            Instr::Call2R { f, dst, a, b } => {
+                let x = rr!(a);
+                let y = rr!(b);
+                rr!(dst) = match f {
+                    Intrinsic::Min => x.min(y),
+                    Intrinsic::Max => x.max(y),
+                    _ => unreachable!("unary intrinsic compiled as Call2R"),
+                };
+            }
+            Instr::Call1I { f, dst, a } => {
+                debug_assert!(matches!(f, Intrinsic::Abs));
+                let _ = f;
+                ii!(dst) = ii!(a).abs();
+            }
+            Instr::Call2I { f, dst, a, b } => {
+                let x = ii!(a);
+                let y = ii!(b);
+                ii!(dst) = match f {
+                    Intrinsic::Min => x.min(y),
+                    Intrinsic::Max => x.max(y),
+                    _ => unreachable!("unary intrinsic compiled as Call2I"),
+                };
+            }
+            // Integer comparisons go through f64 exactly like the
+            // interpreter's `compare`.
+            Instr::CmpR { op, dst, a, b } => ii!(dst) = compare(op, rr!(a), rr!(b)) as i64,
+            Instr::CmpI { op, dst, a, b } => {
+                ii!(dst) = compare(op, ii!(a) as f64, ii!(b) as f64) as i64
+            }
+            Instr::IdxFirst { dst, idx, arr } => {
+                let meta = &bc.arrays[arr as usize];
+                let v = ii!(idx);
+                let d = meta.dims[0];
+                if v < 1 || v > d {
+                    return Err(oob(v, d, 1, &meta.name));
+                }
+                ii!(dst) = v - 1;
+            }
+            Instr::IdxAcc { acc, idx, arr, dim } => {
+                let meta = &bc.arrays[arr as usize];
+                let v = ii!(idx);
+                let d = meta.dims[dim as usize];
+                if v < 1 || v > d {
+                    return Err(oob(v, d, dim as usize + 1, &meta.name));
+                }
+                ii!(acc) += (v - 1) * meta.strides[dim as usize];
+            }
+            Instr::LoadR { dst, arr, off } => {
+                let off = ii!(off) as usize;
+                rr!(dst) = match red_buf(&mut redirect, arr) {
+                    Some(buf) => buf[off],
+                    None => mem.views[arr as usize].load_r(off),
+                };
+            }
+            Instr::LoadI { dst, arr, off } => {
+                ii!(dst) = mem.views[arr as usize].load_i(ii!(off) as usize)
+            }
+            Instr::StoreR { arr, off, src } => {
+                let off = ii!(off) as usize;
+                let v = rr!(src);
+                match red_buf(&mut redirect, arr) {
+                    Some(buf) => buf[off] = v,
+                    None => mem.views[arr as usize].store_r(off, v),
+                }
+            }
+            Instr::StoreI { arr, off, src } => {
+                mem.views[arr as usize].store_i(ii!(off) as usize, ii!(src))
+            }
+            Instr::AtomicAddR { arr, off, src } => {
+                let off = ii!(off) as usize;
+                let v = rr!(src);
+                match red_buf(&mut redirect, arr) {
+                    Some(buf) => buf[off] += v,
+                    None => mem.views[arr as usize].fetch_add_r(off, v),
+                }
+            }
+            Instr::IncR { arr, off, src } => {
+                let off = ii!(off) as usize;
+                let v = rr!(src);
+                match red_buf(&mut redirect, arr) {
+                    Some(buf) => buf[off] += v,
+                    None => {
+                        let view = &mem.views[arr as usize];
+                        view.store_r(off, view.load_r(off) + v);
+                    }
+                }
+            }
+            Instr::PushR { src } => {
+                let v = rr!(src);
+                // Sound: tape `tape_id` is exclusively this thread's.
+                unsafe { tapes.get(tape_id) }.r.push(v);
+            }
+            Instr::PushI { src } => {
+                let v = ii!(src);
+                unsafe { tapes.get(tape_id) }.i.push(v);
+            }
+            Instr::PopR { dst } => {
+                rr!(dst) = unsafe { tapes.get(tape_id) }
+                    .r
+                    .pop()
+                    .ok_or_else(|| ExecError::new("pop from empty real tape"))?;
+            }
+            Instr::PopI { dst } => {
+                ii!(dst) = unsafe { tapes.get(tape_id) }
+                    .i
+                    .pop()
+                    .ok_or_else(|| ExecError::new("pop from empty int tape"))?;
+            }
+            Instr::PopElemR { arr, off } => {
+                let off = ii!(off) as usize;
+                let v = unsafe { tapes.get(tape_id) }
+                    .r
+                    .pop()
+                    .ok_or_else(|| ExecError::new("pop from empty real tape"))?;
+                match red_buf(&mut redirect, arr) {
+                    Some(buf) => buf[off] = v,
+                    None => mem.views[arr as usize].store_r(off, v),
+                }
+            }
+            Instr::PopElemI { arr, off } => {
+                let off = ii!(off) as usize;
+                let v = unsafe { tapes.get(tape_id) }
+                    .i
+                    .pop()
+                    .ok_or_else(|| ExecError::new("pop from empty int tape"))?;
+                mem.views[arr as usize].store_i(off, v);
+            }
+            Instr::Jmp { target } => pc = target as usize,
+            Instr::JmpIfZero { cond, target } => {
+                if ii!(cond) == 0 {
+                    pc = target as usize;
+                }
+            }
+            Instr::StepNz { step } => {
+                if ii!(step) == 0 {
+                    return Err(ExecError::new("zero loop step"));
+                }
+            }
+            Instr::LoopCond { dst, v, hi, step } => {
+                let cont = if ii!(step) > 0 {
+                    ii!(v) <= ii!(hi)
+                } else {
+                    ii!(v) >= ii!(hi)
+                };
+                ii!(dst) = cont as i64;
+            }
+            Instr::EnterPar { region } => {
+                if redirect.is_some() {
+                    return Err(ExecError::new("nested parallel region at runtime"));
+                }
+                return Ok(Exit::Par { region, resume: pc });
+            }
+            Instr::Halt => return Ok(Exit::Done),
+        }
+    }
+}
+
+/// The privatized buffer for `arr` in the current region, if any.
+#[inline]
+fn red_buf<'a>(redirect: &'a mut Option<&mut Redirect<'_>>, arr: u16) -> Option<&'a mut Vec<f64>> {
+    match redirect {
+        Some(r) => {
+            let k = r.map[arr as usize];
+            if k == u16::MAX {
+                None
+            } else {
+                Some(&mut r.bufs[k as usize])
+            }
+        }
+        None => None,
+    }
+}
+
+fn oob(v: i64, d: i64, dim: usize, name: &str) -> ExecError {
+    ExecError::new(format!(
+        "index {v} out of bounds 1..={d} in dimension {dim} of `{name}`"
+    ))
+}
+
+fn identity(op: RedOp) -> f64 {
+    match op {
+        RedOp::Add => 0.0,
+        RedOp::Mul => 1.0,
+        RedOp::Min => f64::INFINITY,
+        RedOp::Max => f64::NEG_INFINITY,
+    }
+}
+
+fn combine(op: RedOp, a: f64, b: f64) -> f64 {
+    match op {
+        RedOp::Add => a + b,
+        RedOp::Mul => a * b,
+        RedOp::Min => a.min(b),
+        RedOp::Max => a.max(b),
+    }
+}
+
+fn compare(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}

@@ -53,8 +53,38 @@ pub fn dot_product_test(
     h: f64,
     suffix: &str,
 ) -> Result<DotTest, ExecError> {
+    dot_product_test_with(
+        primal,
+        adjoint,
+        base,
+        independents,
+        dependents,
+        h,
+        suffix,
+        |p, b| run(p, b, machine).map(|_| ()),
+    )
+}
+
+/// [`dot_product_test`] with a caller-supplied runner, so adjoints can be
+/// validated under *any* execution backend (e.g. the native bytecode
+/// executor via [`crate::exec::run_native`]) — the runner executes a
+/// program against bindings, writing parameter results back.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_product_test_with<R>(
+    primal: &Program,
+    adjoint: &Program,
+    base: &Bindings,
+    independents: &[(&str, Vec<f64>)],
+    dependents: &[(&str, Vec<f64>)],
+    h: f64,
+    suffix: &str,
+    mut runner: R,
+) -> Result<DotTest, ExecError>
+where
+    R: FnMut(&Program, &mut Bindings) -> Result<(), ExecError>,
+{
     // --- finite differences: g(s) = ⟨ȳ, F(x + s·v)⟩ -----------------------
-    let eval_g = |s: f64| -> Result<f64, ExecError> {
+    let mut eval_g = |s: f64| -> Result<f64, ExecError> {
         let mut b = base.clone();
         for (name, v) in independents {
             let arr = b
@@ -65,7 +95,7 @@ pub fn dot_product_test(
                 *a += s * d;
             }
         }
-        run(primal, &mut b, machine)?;
+        runner(primal, &mut b)?;
         let mut g = 0.0;
         for (name, w) in dependents {
             let arr = b
@@ -108,7 +138,7 @@ pub fn dot_product_test(
             }
         }
     }
-    run(adjoint, &mut b, machine)?;
+    runner(adjoint, &mut b)?;
     let mut adjoint_value = 0.0;
     for (name, v) in independents {
         let xb = b

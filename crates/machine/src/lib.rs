@@ -9,21 +9,29 @@
 //!   [`cost::CostModel`] charging plain/atomic/reduction accesses so the
 //!   paper's scalability experiments (run on an 18-core Xeon) can be
 //!   regenerated on a single-core host;
+//! - [`bytecode`] + [`exec`]: the **native backend** — lowered programs
+//!   compile to a flat register bytecode executed on real OS threads via
+//!   a persistent `formad-runtime` pool, with the same static chunk
+//!   schedule as the simulator and bitwise-identical results;
 //! - [`fd`]: dot-product (finite-difference) validation of adjoints and
-//!   tangents.
+//!   tangents, parameterized over the execution backend.
 //!
-//! Semantics are exact and thread-count independent; only the *cycle
-//! accounting* models parallel hardware. See `DESIGN.md` for the
-//! substitution rationale.
+//! Semantics are exact, backend- and thread-count independent; only the
+//! *cycle accounting* models parallel hardware. See `DESIGN.md`
+//! ("Execution backends") for the substitution rationale.
 
 pub mod bindings;
+pub mod bytecode;
 pub mod cost;
+pub mod exec;
 pub mod fd;
 pub mod interp;
 pub mod lower;
 
 pub use bindings::{Bindings, ExecError};
+pub use bytecode::{compile, BcProgram};
 pub use cost::{CostModel, ExecResult, ExecStats};
-pub use fd::{dot_product_test, tangent_dot_test, DotTest};
+pub use exec::{run_native, NativeEngine};
+pub use fd::{dot_product_test, dot_product_test_with, tangent_dot_test, DotTest};
 pub use interp::{run, Machine};
 pub use lower::{lower, LProgram};

@@ -361,6 +361,48 @@ fn minimize_explanation(
         .collect())
 }
 
+/// The discharge prefix of [`solve`] — presolve plus the level-0 theory
+/// check — without building the boolean abstraction. `Some` only for a
+/// *definite* verdict reached on that prefix; interrupts and residual
+/// problems map to `None` so the full search keeps sole responsibility
+/// for them. Used by the cache fast path in `Solver::check()`: most
+/// queries die here, and canonicalizing them for a cache key costs more
+/// than this prefix does.
+pub(crate) fn presolve_discharge(input: &[Clause], ctx: &mut SearchCtx<'_>) -> Option<SatResult> {
+    if ctx.gov.poll().is_some() {
+        return None;
+    }
+    let (fixed, reduced) = match presolve(input, ctx) {
+        Presolved::Unsat => {
+            ctx.presolve_discharges += 1;
+            return Some(SatResult::Unsat);
+        }
+        Presolved::Stopped(_) => return None,
+        Presolved::Reduced { fixed, clauses } => (fixed, clauses),
+    };
+    if fixed.is_empty() {
+        // Nothing conjunctive to theory-check (trivially feasible): the
+        // query is either empty (Sat) or genuinely disjunctive (hard).
+        if reduced.is_empty() {
+            ctx.presolve_discharges += 1;
+            return Some(SatResult::Sat);
+        }
+        return None;
+    }
+    let refs: Vec<&Literal> = fixed.iter().collect();
+    match lits_feasible(&refs, ctx) {
+        Feasibility::Infeasible => {
+            ctx.presolve_discharges += 1;
+            Some(SatResult::Unsat)
+        }
+        Feasibility::Feasible if reduced.is_empty() => {
+            ctx.presolve_discharges += 1;
+            Some(SatResult::Sat)
+        }
+        Feasibility::Feasible | Feasibility::Unknown(_) => None,
+    }
+}
+
 pub(crate) fn solve(input: &[Clause], ctx: &mut SearchCtx<'_>) -> SearchOutcome {
     let mut learned_out: Vec<Clause> = Vec::new();
     let done = |result: SatResult, learned: Vec<Clause>| SearchOutcome { result, learned };

@@ -129,6 +129,22 @@ pub(crate) struct SearchOutcome {
     pub(crate) learned: Vec<Clause>,
 }
 
+/// Cheap discharge attempt for the cache fast path: run only the CDCL
+/// presolve prefix (no boolean abstraction, no search) and return a
+/// definite verdict when the query never needed one. `None` means the
+/// query is presolve-hard — worth canonicalizing and caching — or the
+/// core has no presolve layer (legacy).
+pub(crate) fn try_discharge(
+    core: SearchCore,
+    clauses: &[Clause],
+    ctx: &mut SearchCtx<'_>,
+) -> Option<SatResult> {
+    match core {
+        SearchCore::Legacy => None,
+        SearchCore::Cdcl => cdcl::presolve_discharge(clauses, ctx),
+    }
+}
+
 /// Run the selected core over the flattened assertion clauses.
 pub(crate) fn run(core: SearchCore, clauses: &[Clause], ctx: &mut SearchCtx<'_>) -> SearchOutcome {
     match core {

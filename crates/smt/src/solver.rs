@@ -352,52 +352,49 @@ impl Solver {
     pub fn check(&mut self) -> SatResult {
         self.stats.checks = self.stats.checks.saturating_add(1);
         self.last_learned.clear();
-        // Canonical-cache fast path: a definite verdict cached for any
-        // equisatisfiable assertion stack short-circuits the search.
-        // `Unknown` is never served from (or stored into) the cache.
-        let keyed = self.cache.clone().map(|c| {
-            let key = canonical_query_key(self.chunks.iter().flat_map(|ch| ch.iter()), &self.table);
-            (key, c)
-        });
-        if let Some((key, cache)) = &keyed {
-            if let Some(hit) = cache.lookup(key) {
-                self.stats.cache_hits = self.stats.cache_hits.saturating_add(1);
-                return hit;
-            }
-            self.stats.cache_misses = self.stats.cache_misses.saturating_add(1);
-        }
         // Effective interrupt: absolute deadline ∧ per-check timeout.
         let mut interrupt = self.interrupt.clone();
         if let Some(t) = self.timeout {
             interrupt.deadline = interrupt.deadline.earliest(Deadline::after(t));
         }
-        let gov = Governor::new(&interrupt);
-        let mut ctx = SearchCtx::new(self.budget, &self.table, gov);
         let clauses: Vec<Clause> = self
             .chunks
             .iter()
             .flat_map(|ch| ch.iter().cloned())
             .collect();
+        // Canonical-cache fast path: a definite verdict cached for any
+        // equisatisfiable assertion stack short-circuits the search.
+        // Computing a canonical key costs more than the presolve prefix
+        // most queries die on, so that prefix runs first and only
+        // presolve-hard queries — the ones worth remembering — are keyed
+        // and looked up. `Unknown` is never served from (or stored into)
+        // the cache.
+        let keyed = match self.cache.clone() {
+            None => None,
+            Some(cache) => {
+                let gov = Governor::new(&interrupt);
+                let mut ctx = SearchCtx::new(self.budget, &self.table, gov);
+                let discharged = search::try_discharge(self.search_core, &clauses, &mut ctx);
+                fold_search_counters(&mut self.stats, &ctx);
+                if let Some(result) = discharged {
+                    return result;
+                }
+                let key =
+                    canonical_query_key(self.chunks.iter().flat_map(|ch| ch.iter()), &self.table);
+                if let Some(hit) = cache.lookup(&key) {
+                    self.stats.cache_hits = self.stats.cache_hits.saturating_add(1);
+                    return hit;
+                }
+                self.stats.cache_misses = self.stats.cache_misses.saturating_add(1);
+                Some((key, cache))
+            }
+        };
+        let gov = Governor::new(&interrupt);
+        let mut ctx = SearchCtx::new(self.budget, &self.table, gov);
         let outcome = search::run(self.search_core, &clauses, &mut ctx);
         let result = outcome.result;
         self.last_learned = outcome.learned;
-        self.stats.lia_calls = self.stats.lia_calls.saturating_add(ctx.lia_calls);
-        self.stats.branches = self.stats.branches.saturating_add(ctx.branches);
-        self.stats.propagations = self.stats.propagations.saturating_add(ctx.propagations);
-        self.stats.conflicts = self.stats.conflicts.saturating_add(ctx.conflicts);
-        self.stats.learned_clauses = self
-            .stats
-            .learned_clauses
-            .saturating_add(ctx.learned_clauses);
-        self.stats.learned_literals = self
-            .stats
-            .learned_literals
-            .saturating_add(ctx.learned_literals);
-        self.stats.restarts = self.stats.restarts.saturating_add(ctx.restarts);
-        self.stats.presolve_discharges = self
-            .stats
-            .presolve_discharges
-            .saturating_add(ctx.presolve_discharges);
+        fold_search_counters(&mut self.stats, &ctx);
         if let SatResult::Unknown(reason) = result {
             self.stats.unknowns = self.stats.unknowns.saturating_add(1);
             if matches!(reason, StopReason::Deadline | StopReason::Cancelled) {
@@ -420,6 +417,21 @@ impl Solver {
         self.pop();
         r
     }
+}
+
+/// Accumulate a search context's work counters into the solver stats
+/// (shared by the discharge attempt and the full search of one `check()`).
+fn fold_search_counters(stats: &mut SolverStats, ctx: &SearchCtx<'_>) {
+    stats.lia_calls = stats.lia_calls.saturating_add(ctx.lia_calls);
+    stats.branches = stats.branches.saturating_add(ctx.branches);
+    stats.propagations = stats.propagations.saturating_add(ctx.propagations);
+    stats.conflicts = stats.conflicts.saturating_add(ctx.conflicts);
+    stats.learned_clauses = stats.learned_clauses.saturating_add(ctx.learned_clauses);
+    stats.learned_literals = stats.learned_literals.saturating_add(ctx.learned_literals);
+    stats.restarts = stats.restarts.saturating_add(ctx.restarts);
+    stats.presolve_discharges = stats
+        .presolve_discharges
+        .saturating_add(ctx.presolve_discharges);
 }
 
 /// The solver surface the analysis pipeline programs against. Both the
@@ -817,12 +829,28 @@ mod tests {
         }
     }
 
+    /// A query the CDCL presolve prefix cannot discharge: a genuine
+    /// disjunction of inequalities with no unit literal to fix. Keeps the
+    /// cache path reachable under the default core.
+    fn hard_sat_query(table: &mut AtomTable, x: &str, y: &str) -> Formula {
+        let le = |a: &Term, b: &Term, t: &mut AtomTable| {
+            Formula::Lit(crate::formula::Literal::le(
+                crate::linexpr::normalize(a, t).unwrap(),
+                crate::linexpr::normalize(b, t).unwrap(),
+            ))
+        };
+        Formula::or(vec![
+            le(&sym(x), &sym(y), table),
+            le(&sym(y), &sym(x), table),
+        ])
+    }
+
     #[test]
     fn cache_serves_second_check() {
         let cache = ProofCache::new();
         let mut s = Solver::new();
         s.set_cache(Some(cache.clone()));
-        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        let f = hard_sat_query(&mut s.table, "x", "y");
         s.assert(f);
         assert_eq!(s.check(), SatResult::Sat);
         assert_eq!(s.stats.cache_misses, 1);
@@ -835,17 +863,52 @@ mod tests {
     }
 
     #[test]
+    fn presolve_discharged_checks_bypass_the_cache() {
+        // `x ≠ y` dies in the presolve prefix; with a cache attached the
+        // canonical key must never be computed for it — no miss, no
+        // insert, the cache stays empty.
+        let cache = ProofCache::new();
+        let mut s = Solver::new();
+        s.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.presolve_discharges, 2);
+        assert_eq!(s.stats.cache_hits, 0);
+        assert_eq!(s.stats.cache_misses, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn legacy_core_caches_every_check() {
+        // The legacy splitter has no presolve prefix: with a cache
+        // attached even a trivial query is keyed, missed once, and served
+        // on the second check.
+        let cache = ProofCache::new();
+        let mut s = Solver::new();
+        s.set_search_core(SearchCore::Legacy);
+        s.set_cache(Some(cache.clone()));
+        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        s.assert(f);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.cache_misses, 1);
+        assert_eq!(s.check(), SatResult::Sat);
+        assert_eq!(s.stats.cache_hits, 1);
+    }
+
+    #[test]
     fn cache_is_shared_across_solvers_modulo_renaming() {
         let cache = ProofCache::new();
         let mut a = Solver::new();
         a.set_cache(Some(cache.clone()));
-        let f = Formula::term_ne(&sym("i"), &sym("i'"), &mut a.table).unwrap();
+        let f = hard_sat_query(&mut a.table, "i", "i'");
         a.assert(f);
         assert_eq!(a.check(), SatResult::Sat);
         // A different solver with a renamed but isomorphic stack hits.
         let mut b = Solver::new();
         b.set_cache(Some(cache.clone()));
-        let f = Formula::term_ne(&sym("j"), &sym("j'"), &mut b.table).unwrap();
+        let f = hard_sat_query(&mut b.table, "j", "j'");
         b.assert(f);
         assert_eq!(b.check(), SatResult::Sat);
         assert_eq!(b.stats.cache_hits, 1);
@@ -857,12 +920,14 @@ mod tests {
         let cache = ProofCache::new();
         let mut s = Solver::new();
         s.set_cache(Some(cache));
-        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        let f = hard_sat_query(&mut s.table, "x", "y");
         s.assert(f);
         assert_eq!(s.check(), SatResult::Sat);
         s.push();
-        let g = Formula::term_eq(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        let g = Formula::term_eq(&sym("x"), &(sym("y") + Term::int(1)), &mut s.table).unwrap();
+        let h = Formula::term_eq(&sym("x"), &sym("y"), &mut s.table).unwrap();
         s.assert(g);
+        s.assert(h);
         assert_eq!(s.check(), SatResult::Unsat);
         s.pop();
         // Back to the base stack: the cached Sat must be served, not the
@@ -880,7 +945,7 @@ mod tests {
             fm: crate::fm::FmBudget::default(),
         });
         s.set_cache(Some(cache.clone()));
-        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s.table).unwrap();
+        let f = hard_sat_query(&mut s.table, "x", "y");
         s.assert(f);
         assert!(s.check().is_unknown());
         assert_eq!(s.stats.cache_inserts, 0);
@@ -889,7 +954,7 @@ mod tests {
         // Unknown.
         let mut s2 = Solver::new();
         s2.set_cache(Some(cache.clone()));
-        let f = Formula::term_ne(&sym("x"), &sym("y"), &mut s2.table).unwrap();
+        let f = hard_sat_query(&mut s2.table, "x", "y");
         s2.assert(f);
         assert_eq!(s2.check(), SatResult::Sat);
         assert_eq!(cache.inserts(), 1);
