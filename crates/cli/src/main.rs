@@ -11,6 +11,22 @@
 //!                                                adjoint from `formad
 //!                                                adjoint` into a file to
 //!                                                execute generated code)
+//! formad serve    [serve options]                run the resident JSON/HTTP
+//!                                                differentiation service
+//!                                                until SIGINT or a client
+//!                                                POSTs /v1/shutdown
+//!
+//! serve options:
+//!   --addr HOST:PORT   bind address (default 127.0.0.1:7878; use :0 for
+//!                      an ephemeral port — the bound address is printed
+//!                      as the first stdout line)
+//!   --workers N        concurrent request slots (default 4)
+//!   --queue N          admission queue beyond the running slots
+//!                      (default 8); saturation degrades analysis
+//!                      requests to the always-safe atomic answer and
+//!                      429s `exec` requests with a retry hint
+//!   --deadline-ms N    default per-request deadline for requests that
+//!                      do not carry their own
 //!
 //! exec options:
 //!   --backend B        sim (default; tree-walking interpreter with the
@@ -25,6 +41,8 @@
 //!                      parameters (values in (-1, 1); default 42).
 //!                      Integer arrays are filled with 1, 2, 3, … so
 //!                      index arrays stay in bounds.
+//!   --deadline-ms N    hard wall-clock budget, same contract as the
+//!                      analysis verbs: expiry is an error (exit 7)
 //!
 //! options:
 //!   --wrt a,b          independent variables (differentiation inputs)
@@ -128,7 +146,8 @@ fn usage() -> ExitCode {
          [--prover-timeout-ms N] [--deadline-ms N] [--jobs N] [--no-cache] \
          [--search-core cdcl|legacy] [--trace PATH]\n       \
          formad exec FILE [--backend sim|native] [--threads N] \
-         [--set k=v,...] [--seed S]"
+         [--set k=v,...] [--seed S] [--deadline-ms N]\n       \
+         formad serve [--addr HOST:PORT] [--workers N] [--queue N]"
     );
     ExitCode::from(2)
 }
@@ -352,6 +371,14 @@ fn render(p: &formad_ir::Program, emit: &str) -> String {
 }
 
 fn main() -> ExitCode {
+    // `serve` takes no FILE argument, so it branches before the normal
+    // parser (which requires one).
+    {
+        let mut argv = std::env::args().skip(1);
+        if argv.next().as_deref() == Some("serve") {
+            return serve_cmd(&argv.collect::<Vec<String>>());
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(c) => return c,
@@ -409,112 +436,86 @@ fn write_trace(args: &Args, sink: &Option<TraceSink>) -> Result<(), ExitCode> {
     Ok(())
 }
 
-/// Deterministic fill for a real array parameter: a splitmix64 stream
-/// keyed by the seed and the array name, mapped into (-1, 1). Keyed per
-/// name so reordering `--set` flags or declarations never changes data.
-fn fill_real(name: &str, seed: u64, len: usize) -> Vec<f64> {
-    let mut h = 0xcbf2_9ce4_8422_2325_u64; // FNV-1a over the name
-    for b in name.bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+/// `formad serve`: run the resident differentiation service until
+/// SIGINT or a client POSTs `/v1/shutdown`. The bound address is the
+/// first stdout line, so scripts can start on an ephemeral port
+/// (`--addr 127.0.0.1:0`) and read where the daemon landed.
+fn serve_cmd(rest: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = formad_serve::ServiceConfig::default();
+    let mut k = 0;
+    while k < rest.len() {
+        let value = |k: &mut usize| -> Option<String> {
+            *k += 1;
+            rest.get(*k).cloned()
+        };
+        match rest[k].as_str() {
+            "--addr" => match value(&mut k) {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--workers" => match value(&mut k).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.workers = n,
+                _ => return usage(),
+            },
+            "--queue" => match value(&mut k).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cfg.queue = n,
+                _ => return usage(),
+            },
+            "--deadline-ms" => match value(&mut k).and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => cfg.default_deadline_ms = Some(ms),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+        k += 1;
     }
-    let mut s = seed ^ h;
-    (0..len)
-        .map(|_| {
-            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = s;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^= z >> 31;
-            (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
-        })
-        .collect()
+    formad_serve::install_sigint_handler();
+    let mut handle = match formad_serve::serve(&addr, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("formad serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // The accept loop watches SIGINT and `/v1/shutdown` itself; joining
+    // blocks until either fires and every in-flight request drained.
+    handle.join();
+    println!("formad serve: drained, bye");
+    ExitCode::SUCCESS
 }
 
 /// `formad exec`: bind parameters, run on the chosen backend, print the
 /// `intent(out)`/`intent(inout)` results. The two backends are
 /// bitwise-identical, so this output can be diffed across them directly.
+/// `--deadline-ms` is honored like `prove`: expiry — before or during
+/// the run — is a hard error (exit 7), so every CLI verb shares one
+/// deadline story and the service can reuse it per-request.
 fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
-    use formad_ir::{Intent, Ty};
-    use formad_machine::{lower, run, run_native, Bindings, Machine};
+    use formad_machine::{bind_params, output_lines, run, run_native, BindError, Machine};
 
-    let mut bind = Bindings::new();
-    for (name, raw) in &args.sets {
-        let Some(d) = primal.params.iter().find(|d| d.name == *name) else {
-            eprintln!("--set: `{name}` is not a parameter of `{}`", primal.name);
-            return ExitCode::from(2);
-        };
-        if d.is_array() {
-            eprintln!("--set: `{name}` is an array (only scalars can be set)");
-            return ExitCode::from(2);
-        }
-        match d.ty {
-            Ty::Int => match raw.parse::<i64>() {
-                Ok(v) => {
-                    bind.int_scalars.insert(name.clone(), v);
-                }
-                Err(_) => {
-                    eprintln!("--set: integer `{name}` got non-integer `{raw}`");
-                    return ExitCode::from(2);
-                }
-            },
-            Ty::Real => match raw.parse::<f64>() {
-                Ok(v) => {
-                    bind.real_scalars.insert(name.clone(), v);
-                }
-                Err(_) => {
-                    eprintln!("--set: real `{name}` got non-numeric `{raw}`");
-                    return ExitCode::from(2);
-                }
-            },
-        }
+    let deadline = args.deadline_ms.map(Deadline::in_ms);
+    if let Some(c) = check_exec_deadline(&deadline, "execution started") {
+        return c;
     }
-    for d in &primal.params {
-        if d.is_array() {
-            continue;
-        }
-        match d.ty {
-            // Array extents are expressions over the integer parameters,
-            // so a missing one cannot be defaulted meaningfully.
-            Ty::Int if !bind.int_scalars.contains_key(&d.name) => {
-                eprintln!(
-                    "integer parameter `{}` needs a value: --set {}=N",
-                    d.name, d.name
-                );
-                return ExitCode::from(2);
-            }
-            Ty::Real => {
-                bind.real_scalars.entry(d.name.clone()).or_insert(0.0);
-            }
-            _ => {}
-        }
-    }
-    // Lowering evaluates the declared extents against the scalar
-    // bindings — reuse it to size the array parameters.
-    let lp = match lower(primal, &bind) {
-        Ok(lp) => lp,
-        Err(e) => {
+    let mut bind = match bind_params(primal, &args.sets, args.seed) {
+        Ok(b) => b,
+        Err(e @ BindError::Lower(_)) => {
             eprintln!("{e}");
             return code_for(FormadErrorKind::Validate);
         }
+        Err(e @ BindError::MissingInt { .. }) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("--set: {e}");
+            return ExitCode::from(2);
+        }
     };
-    for d in &primal.params {
-        if !d.is_array() {
-            continue;
-        }
-        let len = lp.arrays[lp.array_ids[&d.name] as usize].len;
-        match d.ty {
-            Ty::Real => {
-                bind.real_arrays
-                    .insert(d.name.clone(), fill_real(&d.name, args.seed, len));
-            }
-            // 1, 2, 3, … so integer arrays used as subscripts stay within
-            // the 1-based bounds of same-extent arrays.
-            Ty::Int => {
-                bind.int_arrays
-                    .insert(d.name.clone(), (1..=len as i64).collect());
-            }
-        }
-    }
 
     let t0 = std::time::Instant::now();
     let res = match args.backend.as_str() {
@@ -526,6 +527,9 @@ fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
         eprintln!("execution failed: {e}");
         return code_for(FormadErrorKind::Validate);
     }
+    if let Some(c) = check_exec_deadline(&deadline, "execution finished") {
+        return c;
+    }
     eprintln!(
         "formad: exec `{}` backend={} threads={} in {:.6}s",
         primal.name,
@@ -533,28 +537,27 @@ fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
         args.threads,
         elapsed.as_secs_f64()
     );
-    for d in &primal.params {
-        if !matches!(d.intent, Intent::Out | Intent::InOut) {
-            continue;
-        }
-        match (d.is_array(), d.ty) {
-            (false, Ty::Real) => {
-                println!("{} = {:.17e}", d.name, bind.real_scalars[&d.name]);
-            }
-            (false, Ty::Int) => println!("{} = {}", d.name, bind.int_scalars[&d.name]),
-            (true, Ty::Real) => {
-                let a = &bind.real_arrays[&d.name];
-                let sum: f64 = a.iter().sum();
-                println!("{}: len={} sum={:.17e}", d.name, a.len(), sum);
-            }
-            (true, Ty::Int) => {
-                let a = &bind.int_arrays[&d.name];
-                let sum: i64 = a.iter().sum();
-                println!("{}: len={} sum={}", d.name, a.len(), sum);
-            }
-        }
+    for line in output_lines(primal, &bind) {
+        println!("{line}");
     }
     ExitCode::SUCCESS
+}
+
+/// Exec's half of the shared deadline story: expiry is the same hard
+/// failure (exit 7) the analysis pipeline reports, diagnostics included.
+fn check_exec_deadline(deadline: &Option<Deadline>, stage: &str) -> Option<ExitCode> {
+    let d = deadline.as_ref()?;
+    if !d.expired() {
+        return None;
+    }
+    eprintln!(
+        "{}",
+        formad::FormadError::new(
+            FormadErrorKind::Deadline,
+            format!("global deadline expired before {stage}"),
+        )
+    );
+    Some(code_for(FormadErrorKind::Deadline))
 }
 
 fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {

@@ -557,6 +557,39 @@ fn exec_runs_both_backends_with_identical_output() {
 }
 
 #[test]
+fn exec_honors_the_shared_deadline_story() {
+    // `exec` shares the analysis verbs' deadline contract: a pre-expired
+    // global deadline is a hard exit-7 failure with a diagnostic, not a
+    // silent success.
+    let f = write_temp("axpy_dl.f90", AXPY_F);
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args([
+            "exec",
+            f.to_str().unwrap(),
+            "--set",
+            "n=16,a=0.5",
+            "--deadline-ms",
+            "0",
+        ])
+        .output()
+        .expect("run formad");
+    assert_eq!(out.status.code(), Some(7));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+    // A generous deadline leaves the run untouched.
+    let (out, err, ok) = formad(&[
+        "exec",
+        f.to_str().unwrap(),
+        "--set",
+        "n=16,a=0.5",
+        "--deadline-ms",
+        "60000",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("y: len=16 sum="), "{out}");
+}
+
+#[test]
 fn exec_runs_generated_adjoints() {
     // Close the loop: differentiate, write the adjoint out, execute it
     // natively. The adjoint of axpy seeds xb += a * yb.
@@ -663,5 +696,60 @@ fn zero_timeout_degrades_but_stays_correct() {
     assert!(
         err.contains("timed-out") || err.contains("guarded"),
         "{err}"
+    );
+}
+
+#[test]
+fn serve_starts_answers_and_shuts_down_over_the_wire() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn formad serve");
+    // The bound address is the first stdout line.
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .rsplit(' ')
+        .next()
+        .unwrap_or_else(|| panic!("no address in banner `{banner}`"))
+        .to_string();
+
+    let post = |path: &str, body: &str| -> (u16, String) {
+        let mut s = TcpStream::connect(&addr).expect("connect to daemon");
+        s.write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        let status = text.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    };
+
+    let program = FIG2_F.replace('\n', "\\n").replace('"', "\\\"");
+    let (status, body) = post(
+        "/v1/prove",
+        &format!(r#"{{"program":"{program}","wrt":"x","of":"y"}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("fig2"), "{body}");
+
+    let (status, _) = post("/v1/shutdown", "{}");
+    assert_eq!(status, 200);
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(
+        out.status.success(),
+        "daemon exited nonzero: {:?}",
+        out.status
     );
 }

@@ -1,0 +1,337 @@
+//! A long-lived, shareable pipeline engine.
+//!
+//! The one-shot CLI builds its proof cache, thread pool, and interned
+//! state per invocation and throws them away. A service cannot afford
+//! that: the whole point of a resident daemon is that the 102nd user's
+//! stencil proves in microseconds because the first user's verdicts are
+//! still warm. [`SharedEngine`] is the seam between the two worlds: it
+//! owns the shared proof cache, and every pipeline entry point —
+//! one-shot [`Formad`](crate::Formad) methods included — runs *through*
+//! it rather than constructing cache state inline.
+//!
+//! Two execution modes:
+//!
+//! - **direct** ([`SharedEngine::analyze`] /
+//!   [`SharedEngine::differentiate`]): prover verdicts land straight in
+//!   the shared cache. This is the one-shot path; counters and entries
+//!   accrue on the caller's own handle exactly as before the engine
+//!   existed.
+//! - **isolated** ([`SharedEngine::analyze_isolated`] /
+//!   [`SharedEngine::differentiate_isolated`]): the request runs against
+//!   a private [`overlay`](formad_smt::ProofCache::overlay) of the
+//!   shared cache. On success the overlay is absorbed (published); on
+//!   error — or if the pipeline panics and unwinds through the call —
+//!   the overlay is dropped and the shared cache is untouched. A
+//!   multi-tenant daemon uses this so a poisoned request cannot leak
+//!   half-finished state into every later request's lookups.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use formad_ad::{differentiate, AdjointOptions, IncMode, ParallelTreatment};
+use formad_analysis::Activity;
+use formad_ir::Program;
+use formad_smt::{ProofCache, SolverStats};
+
+use crate::pipeline::{DiffResult, FormadAnalysis, FormadError, FormadErrorKind, FormadOptions};
+use crate::region::{analyze_region, Decision};
+use crate::trace::TraceEvent;
+
+/// Shared pipeline state: the proof cache every request reads through.
+/// Cloning is cheap and shares the cache (it is a handle), so one engine
+/// can serve any number of threads.
+#[derive(Debug, Clone, Default)]
+pub struct SharedEngine {
+    cache: Option<ProofCache>,
+}
+
+impl SharedEngine {
+    /// An engine with a fresh, empty proof cache.
+    pub fn new() -> SharedEngine {
+        SharedEngine {
+            cache: Some(ProofCache::new()),
+        }
+    }
+
+    /// An engine over an explicit cache handle (`None` disables caching
+    /// entirely — every query is proved from scratch).
+    pub fn with_cache(cache: Option<ProofCache>) -> SharedEngine {
+        SharedEngine { cache }
+    }
+
+    /// Adopt the cache handle already configured in `options` — the
+    /// one-shot constructor: whatever cache the caller wired into
+    /// `options.region.cache` *is* the engine's shared state.
+    pub fn from_options(options: &FormadOptions) -> SharedEngine {
+        SharedEngine {
+            cache: options.region.cache.clone(),
+        }
+    }
+
+    /// The shared proof cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&ProofCache> {
+        self.cache.as_ref()
+    }
+
+    fn options_with(&self, options: &FormadOptions, cache: Option<ProofCache>) -> FormadOptions {
+        let mut o = options.clone();
+        o.region.cache = cache;
+        o
+    }
+
+    /// Analysis with verdicts published directly to the shared cache.
+    pub fn analyze(
+        &self,
+        primal: &Program,
+        options: &FormadOptions,
+    ) -> Result<FormadAnalysis, FormadError> {
+        run_analysis(primal, &self.options_with(options, self.cache.clone()))
+    }
+
+    /// Full pipeline with verdicts published directly to the shared
+    /// cache.
+    pub fn differentiate(
+        &self,
+        primal: &Program,
+        options: &FormadOptions,
+    ) -> Result<DiffResult, FormadError> {
+        run_differentiate(primal, &self.options_with(options, self.cache.clone()))
+    }
+
+    /// Analysis against a private overlay of the shared cache: absorbed
+    /// on success, rolled back (dropped) on error or unwind.
+    pub fn analyze_isolated(
+        &self,
+        primal: &Program,
+        options: &FormadOptions,
+    ) -> Result<FormadAnalysis, FormadError> {
+        self.isolated(options, |o| run_analysis(primal, o))
+    }
+
+    /// Full pipeline against a private overlay of the shared cache:
+    /// absorbed on success, rolled back (dropped) on error or unwind.
+    pub fn differentiate_isolated(
+        &self,
+        primal: &Program,
+        options: &FormadOptions,
+    ) -> Result<DiffResult, FormadError> {
+        self.isolated(options, |o| run_differentiate(primal, o))
+    }
+
+    /// Generate an adjoint with an explicit treatment, no prover
+    /// involved. This is the always-safe fallback a service answers with
+    /// when it sheds load: `ParallelTreatment::Uniform(IncMode::Atomic)`
+    /// is correct for every program the validator accepts.
+    pub fn adjoint_with(
+        &self,
+        primal: &Program,
+        options: &FormadOptions,
+        treatment: ParallelTreatment,
+    ) -> Result<Program, FormadError> {
+        Ok(differentiate(primal, &ad_options(options, treatment))?)
+    }
+
+    fn isolated<T>(
+        &self,
+        options: &FormadOptions,
+        run: impl FnOnce(&FormadOptions) -> Result<T, FormadError>,
+    ) -> Result<T, FormadError> {
+        match &self.cache {
+            None => run(&self.options_with(options, None)),
+            Some(base) => {
+                let overlay = base.overlay();
+                // If `run` unwinds, `overlay` is dropped here without an
+                // absorb — rollback is the no-op path.
+                let result = run(&self.options_with(options, Some(overlay.clone())));
+                if result.is_ok() {
+                    base.absorb(&overlay);
+                }
+                result
+            }
+        }
+    }
+}
+
+/// Derived `AdjointOptions` for a treatment under `options`' inputs and
+/// outputs.
+pub(crate) fn ad_options(options: &FormadOptions, treatment: ParallelTreatment) -> AdjointOptions {
+    let indep: Vec<&str> = options.independents.iter().map(|s| s.as_str()).collect();
+    let dep: Vec<&str> = options.dependents.iter().map(|s| s.as_str()).collect();
+    AdjointOptions::new(&indep, &dep, treatment)
+}
+
+/// Enforce the optional global deadline: expiry is a hard pipeline
+/// failure (exit 7 from the CLI), unlike `prover_timeout` whose expiry
+/// degrades arrays and still succeeds.
+pub(crate) fn check_deadline(options: &FormadOptions, stage: &str) -> Result<(), FormadError> {
+    if let Some(d) = options.region.deadline {
+        if d.expired() {
+            return Err(FormadError::new(
+                FormadErrorKind::Deadline,
+                format!("global deadline expired before {stage} finished"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The analysis pipeline body (knowledge extraction + exploitation +
+/// safeguard planning), run against exactly the cache wired into
+/// `options.region.cache`.
+pub(crate) fn run_analysis(
+    primal: &Program,
+    options: &FormadOptions,
+) -> Result<FormadAnalysis, FormadError> {
+    let sink = options.region.trace.as_ref();
+    if let Some(s) = sink {
+        s.record(TraceEvent::Pipeline {
+            program: primal.name.clone(),
+            independents: options.independents.clone(),
+            dependents: options.dependents.clone(),
+        });
+    }
+    let mark = Instant::now();
+    formad_ir::validate_strict(primal)
+        .map_err(|e| FormadError::validate(format!("invalid primal: {e}")))?;
+    if let Some(s) = sink {
+        s.record(TraceEvent::Phase {
+            id: "phase/validate".to_string(),
+            dur_us: mark.elapsed().as_micros() as u64,
+        });
+    }
+    let mark = Instant::now();
+    let activity = Activity::analyze(primal, &options.independents, &options.dependents);
+    if let Some(s) = sink {
+        s.record(TraceEvent::Phase {
+            id: "phase/activity".to_string(),
+            dur_us: mark.elapsed().as_micros() as u64,
+        });
+    }
+    let mut regions = Vec::new();
+    let mut maps: Vec<HashMap<String, IncMode>> = Vec::new();
+    let mut stats = SolverStats::default();
+    for (k, l) in primal.parallel_loops().into_iter().enumerate() {
+        let ra = analyze_region(primal, l, k, &activity, &options.region);
+        let mut map = HashMap::new();
+        for (arr, d) in &ra.decisions {
+            map.insert(
+                arr.clone(),
+                match d {
+                    Decision::Shared => IncMode::Plain,
+                    Decision::Guarded(_) => IncMode::Atomic,
+                },
+            );
+        }
+        stats.merge(&ra.stats);
+        maps.push(map);
+        regions.push(ra);
+    }
+    check_deadline(options, "analysis")?;
+    Ok(FormadAnalysis {
+        regions,
+        plan: ParallelTreatment::PerArray(maps),
+        stats,
+    })
+}
+
+/// The full pipeline body: analysis + reverse-mode transformation with
+/// the derived per-array plan.
+pub(crate) fn run_differentiate(
+    primal: &Program,
+    options: &FormadOptions,
+) -> Result<DiffResult, FormadError> {
+    let analysis = run_analysis(primal, options)?;
+    let mark = Instant::now();
+    let adjoint = differentiate(primal, &ad_options(options, analysis.plan.clone()))?;
+    if let Some(s) = options.region.trace.as_ref() {
+        s.record(TraceEvent::Phase {
+            id: "phase/ad".to_string(),
+            dur_us: mark.elapsed().as_micros() as u64,
+        });
+    }
+    check_deadline(options, "differentiation")?;
+    Ok(DiffResult { adjoint, analysis })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Formad;
+    use formad_ir::parse_program;
+
+    const FIG2: &str = r#"
+subroutine fig2(n, x, y, c)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer, intent(in) :: c(n)
+  integer :: i
+  !$omp parallel do shared(x, y, c)
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine
+"#;
+
+    fn opts() -> FormadOptions {
+        let mut o = FormadOptions::new(&["x"], &["y"]);
+        o.region.jobs = 1;
+        o
+    }
+
+    #[test]
+    fn direct_mode_publishes_to_the_shared_cache() {
+        let primal = parse_program(FIG2).unwrap();
+        let engine = SharedEngine::new();
+        let a = engine.analyze(&primal, &opts()).unwrap();
+        assert!(a.all_safe());
+        // A second run against the same engine issues no new lia calls
+        // for presolve-hard queries (everything is discharged or served
+        // warm), and the verdicts agree.
+        let b = engine.analyze(&primal, &opts()).unwrap();
+        assert!(b.all_safe());
+    }
+
+    #[test]
+    fn isolated_mode_absorbs_on_success() {
+        let primal = parse_program(FIG2).unwrap();
+        let engine = SharedEngine::new();
+        let before = engine.cache().unwrap().len();
+        let a = engine.analyze_isolated(&primal, &opts()).unwrap();
+        assert!(a.all_safe());
+        // Whatever the request proved (if anything was presolve-hard) is
+        // now in the shared base, not stranded in a dropped overlay.
+        assert!(engine.cache().unwrap().len() >= before);
+        assert_eq!(engine.cache().unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn isolated_mode_rolls_back_on_error() {
+        let engine = SharedEngine::new();
+        let primal = parse_program(FIG2).unwrap();
+        let mut o = opts();
+        // Pre-expired deadline: the pipeline fails with a hard Deadline
+        // error after the region loop; nothing may be published.
+        o.region.deadline = Some(formad_smt::Deadline::in_ms(0));
+        let err = engine.analyze_isolated(&primal, &o).unwrap_err();
+        assert_eq!(err.kind, FormadErrorKind::Deadline);
+        assert_eq!(engine.cache().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn formad_entry_points_ride_the_engine() {
+        // The one-shot API is a thin shim over SharedEngine: same handle,
+        // same verdicts.
+        let primal = parse_program(FIG2).unwrap();
+        let tool = Formad::new(opts());
+        let direct = tool.analyze(&primal).unwrap();
+        let engine = SharedEngine::from_options(&tool.options);
+        let via_engine = engine.analyze(&primal, &tool.options).unwrap();
+        assert_eq!(direct.all_safe(), via_engine.all_safe());
+        assert_eq!(
+            direct.discipline_map(),
+            via_engine.discipline_map(),
+            "engine and one-shot disagree on disciplines"
+        );
+    }
+}

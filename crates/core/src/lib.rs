@@ -34,14 +34,19 @@
 //! - [`Formad::differentiate`] — full pipeline: the *Adjoint FormAD*
 //!   program version of the paper's evaluation;
 //! - [`Formad::adjoint_with`] — the *Serial* / *Atomic* / *Reduction*
-//!   baseline versions.
+//!   baseline versions;
+//! - [`SharedEngine`] — the resident-service form of the same pipeline:
+//!   one shared proof cache across requests, with per-request overlay
+//!   isolation (absorb on success, roll back on failure).
 
+pub mod engine;
 pub mod pipeline;
 pub mod region;
 pub mod report;
 pub mod trace;
 pub mod translate;
 
+pub use engine::SharedEngine;
 pub use formad_ad::{IncMode, ParallelTreatment};
 pub use formad_smt::{Deadline, SearchCore};
 pub use pipeline::{

@@ -1,16 +1,13 @@
 //! The FormAD pipeline: analysis → safeguard plan → adjoint generation.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
 
-use formad_ad::{differentiate, AdError, AdjointOptions, IncMode, ParallelTreatment};
-use formad_analysis::Activity;
+use formad_ad::{AdError, IncMode, ParallelTreatment};
 use formad_ir::Program;
 use formad_smt::SolverStats;
 
-use crate::region::{analyze_region, Decision, RegionAnalysis, RegionOptions};
-use crate::trace::TraceEvent;
+use crate::engine::SharedEngine;
+use crate::region::{Decision, RegionAnalysis, RegionOptions};
 
 /// Options for the full pipeline.
 #[derive(Debug, Clone)]
@@ -209,91 +206,24 @@ impl Formad {
         Formad { options }
     }
 
+    /// The engine this invocation runs on: whatever cache handle is
+    /// wired into `options.region.cache` *is* the shared state, so
+    /// one-shot callers keep per-invocation caches and a resident caller
+    /// can pass the same handle to every `Formad` it builds.
+    fn engine(&self) -> SharedEngine {
+        SharedEngine::from_options(&self.options)
+    }
+
     /// Run only the analysis (knowledge extraction + exploitation) and
     /// derive the safeguard plan.
     pub fn analyze(&self, primal: &Program) -> Result<FormadAnalysis, FormadError> {
-        let sink = self.options.region.trace.as_ref();
-        if let Some(s) = sink {
-            s.record(TraceEvent::Pipeline {
-                program: primal.name.clone(),
-                independents: self.options.independents.clone(),
-                dependents: self.options.dependents.clone(),
-            });
-        }
-        let mark = Instant::now();
-        formad_ir::validate_strict(primal)
-            .map_err(|e| FormadError::validate(format!("invalid primal: {e}")))?;
-        if let Some(s) = sink {
-            s.record(TraceEvent::Phase {
-                id: "phase/validate".to_string(),
-                dur_us: mark.elapsed().as_micros() as u64,
-            });
-        }
-        let mark = Instant::now();
-        let activity =
-            Activity::analyze(primal, &self.options.independents, &self.options.dependents);
-        if let Some(s) = sink {
-            s.record(TraceEvent::Phase {
-                id: "phase/activity".to_string(),
-                dur_us: mark.elapsed().as_micros() as u64,
-            });
-        }
-        let mut regions = Vec::new();
-        let mut maps: Vec<HashMap<String, IncMode>> = Vec::new();
-        let mut stats = SolverStats::default();
-        for (k, l) in primal.parallel_loops().into_iter().enumerate() {
-            let ra = analyze_region(primal, l, k, &activity, &self.options.region);
-            let mut map = HashMap::new();
-            for (arr, d) in &ra.decisions {
-                map.insert(
-                    arr.clone(),
-                    match d {
-                        Decision::Shared => IncMode::Plain,
-                        Decision::Guarded(_) => IncMode::Atomic,
-                    },
-                );
-            }
-            stats.merge(&ra.stats);
-            maps.push(map);
-            regions.push(ra);
-        }
-        self.check_deadline("analysis")?;
-        Ok(FormadAnalysis {
-            regions,
-            plan: ParallelTreatment::PerArray(maps),
-            stats,
-        })
+        self.engine().analyze(primal, &self.options)
     }
 
     /// Full pipeline: analysis + reverse-mode transformation with the
     /// derived per-array plan (the paper's *Adjoint FormAD* version).
     pub fn differentiate(&self, primal: &Program) -> Result<DiffResult, FormadError> {
-        let analysis = self.analyze(primal)?;
-        let mark = Instant::now();
-        let adjoint = differentiate(primal, &self.ad_options(analysis.plan.clone()))?;
-        if let Some(s) = self.options.region.trace.as_ref() {
-            s.record(TraceEvent::Phase {
-                id: "phase/ad".to_string(),
-                dur_us: mark.elapsed().as_micros() as u64,
-            });
-        }
-        self.check_deadline("differentiation")?;
-        Ok(DiffResult { adjoint, analysis })
-    }
-
-    /// Enforce the optional global deadline: expiry is a hard pipeline
-    /// failure (exit 7 from the CLI), unlike `prover_timeout` whose
-    /// expiry degrades arrays and still succeeds.
-    fn check_deadline(&self, stage: &str) -> Result<(), FormadError> {
-        if let Some(d) = self.options.region.deadline {
-            if d.expired() {
-                return Err(FormadError::new(
-                    FormadErrorKind::Deadline,
-                    format!("global deadline expired before {stage} finished"),
-                ));
-            }
-        }
-        Ok(())
+        self.engine().differentiate(primal, &self.options)
     }
 
     /// Generate an adjoint with an explicit treatment (the paper's
@@ -303,17 +233,6 @@ impl Formad {
         primal: &Program,
         treatment: ParallelTreatment,
     ) -> Result<Program, FormadError> {
-        Ok(differentiate(primal, &self.ad_options(treatment))?)
-    }
-
-    fn ad_options(&self, treatment: ParallelTreatment) -> AdjointOptions {
-        let indep: Vec<&str> = self
-            .options
-            .independents
-            .iter()
-            .map(|s| s.as_str())
-            .collect();
-        let dep: Vec<&str> = self.options.dependents.iter().map(|s| s.as_str()).collect();
-        AdjointOptions::new(&indep, &dep, treatment)
+        self.engine().adjoint_with(primal, &self.options, treatment)
     }
 }

@@ -23,6 +23,7 @@
 pub mod bindings;
 pub mod bytecode;
 pub mod cost;
+pub mod driver;
 pub mod exec;
 pub mod fd;
 pub mod interp;
@@ -31,6 +32,7 @@ pub mod lower;
 pub use bindings::{Bindings, ExecError};
 pub use bytecode::{compile, BcProgram};
 pub use cost::{CostModel, ExecResult, ExecStats};
+pub use driver::{bind_params, fill_real, output_lines, BindError};
 pub use exec::{run_native, NativeEngine};
 pub use fd::{dot_product_test, dot_product_test_with, tangent_dot_test, DotTest};
 pub use interp::{run, Machine};

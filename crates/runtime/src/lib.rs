@@ -18,5 +18,5 @@ pub mod pool;
 pub mod reduction;
 
 pub use atomic::{AtomicF64, AtomicF64Slice};
-pub use pool::{chunk_of, parallel_for, run_threads, ChunkIter, ThreadPool};
+pub use pool::{chunk_of, drain_global_pool, parallel_for, run_threads, ChunkIter, ThreadPool};
 pub use reduction::{ReductionBuffers, ScalarReduction};

@@ -124,8 +124,15 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Grow the pool to at least `threads` workers (never shrinks).
+    /// Grow the pool to at least `threads` workers (never shrinks while
+    /// running; a [`shutdown`](ThreadPool::shutdown) pool regrows from
+    /// zero on the next call).
     pub fn ensure_workers(&mut self, threads: usize) {
+        if self.workers.len() < threads {
+            // Revive a drained pool: clear the flag before spawning so a
+            // fresh worker doesn't immediately exit.
+            self.shared.lock().shutdown = false;
+        }
         while self.workers.len() < threads {
             let t = self.workers.len();
             let shared = Arc::clone(&self.shared);
@@ -182,18 +189,39 @@ impl ThreadPool {
             resume_unwind(p);
         }
     }
-}
 
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
+    /// Gracefully shut the pool down: wait for any in-flight region to
+    /// drain (never tear a worker down mid-region), then wake every
+    /// parked worker and join them all. Idempotent — calling it on an
+    /// already-drained pool is a no-op — and reversible:
+    /// [`ensure_workers`](ThreadPool::ensure_workers) revives a drained
+    /// pool, so a daemon can drain at quiesce points without giving up
+    /// the pool for good. `Drop` delegates here.
+    pub fn shutdown(&mut self) {
         {
             let mut st = self.shared.lock();
+            // `&mut self` means no submitter is blocked in `run`, but a
+            // poisoned/odd state could still show in-flight work; wait it
+            // out rather than yanking workers mid-region.
+            while st.remaining > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -238,6 +266,16 @@ fn worker_loop(shared: Arc<PoolShared>, t: usize, mut last_epoch: u64) {
 fn global_pool() -> &'static Mutex<ThreadPool> {
     static POOL: OnceLock<Mutex<ThreadPool>> = OnceLock::new();
     POOL.get_or_init(|| Mutex::new(ThreadPool::new(0)))
+}
+
+/// Gracefully drain the process-wide pool behind [`parallel_for`]: wait
+/// for any in-flight region, then join every parked worker. The pool
+/// respawns workers on its next use, so this is safe to call at any
+/// quiesce point — a resident daemon drains on shutdown so process exit
+/// never kills a worker mid-region.
+pub fn drain_global_pool() {
+    let mut pool = global_pool().lock().unwrap_or_else(|e| e.into_inner());
+    pool.shutdown();
 }
 
 /// Run `task(t)` for `t in 0..threads`, preferring the persistent global
@@ -397,6 +435,61 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shutdown_is_graceful_idempotent_and_reversible() {
+        let mut pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(pool.workers(), 0);
+        // Idempotent.
+        pool.shutdown();
+        assert_eq!(pool.workers(), 0);
+        // Reversible: ensure_workers revives a drained pool.
+        pool.ensure_workers(2);
+        assert_eq!(pool.workers(), 2);
+        pool.run(2, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn shutdown_after_a_panicking_job_does_not_panic() {
+        // Regression: draining must not re-raise or deadlock when the
+        // last region panicked — the payload was already delivered to
+        // the submitter, and the workers are parked cleanly.
+        let mut pool = ThreadPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|t| {
+                if t == 0 {
+                    panic!("mid-region failure");
+                }
+            });
+        }));
+        assert!(err.is_err());
+        pool.shutdown();
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn global_pool_drains_and_respawns() {
+        let hits = AtomicUsize::new(0);
+        parallel_for(3, 30, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        drain_global_pool();
+        // The drained pool revives transparently on next use.
+        parallel_for(3, 30, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 60);
+        drain_global_pool();
+        drain_global_pool();
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Bounded admission with a load-shedding ladder.
+//!
+//! The service runs at most `workers` requests concurrently and lets at
+//! most `queue` more wait. The decision for an arriving request depends
+//! on the congestion it observes and on whether the request is
+//! *degradable* (analysis verbs are — the always-safe atomic discipline
+//! is a correct answer at any load; `exec` is not — there is no cheaper
+//! correct execution):
+//!
+//! | congestion            | degradable            | non-degradable     |
+//! |-----------------------|-----------------------|--------------------|
+//! | free slot soon        | run, full budget      | run, full budget   |
+//! | queue < half          | run, reduced budget   | run, full budget   |
+//! | queue ≥ half          | instant atomic answer | wait (full budget) |
+//! | queue full            | instant atomic answer | 429 + retry-after  |
+//!
+//! Degradable work therefore *never* waits behind a deep queue and never
+//! sees a 429: under overload the answer gets cheaper, not later — HTTP
+//! 200 with `degraded: true` is the worst case. Only `exec` can be asked
+//! to come back later, and only when the queue is genuinely full.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// How much of the prover the admitted request may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedLevel {
+    /// No congestion: full budgets and retries.
+    Full,
+    /// Moderate congestion: shrunken prover budgets, no escalation
+    /// retries, capped per-query timeout.
+    Reduced,
+}
+
+impl ShedLevel {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedLevel::Full => "full",
+            ShedLevel::Reduced => "reduced",
+        }
+    }
+}
+
+/// Outcome of [`Admission::admit`].
+#[derive(Debug)]
+pub enum Admit<'a> {
+    /// Run now; drop the permit when done.
+    Run(Permit<'a>),
+    /// Degradable request under saturation: answer immediately with the
+    /// always-safe fallback instead of queueing.
+    Shed,
+    /// Non-degradable request and the queue is full.
+    Reject {
+        /// Client hint: when a slot is plausibly free (milliseconds).
+        retry_after_ms: u64,
+    },
+}
+
+/// An occupied run slot; releases (and wakes one waiter) on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    adm: &'a Admission,
+    /// The budget tier the ladder assigned at arrival.
+    pub level: ShedLevel,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.adm.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.running -= 1;
+        drop(st);
+        self.adm.cv.notify_one();
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    queued: usize,
+}
+
+/// The admission gate plus its observability counters.
+#[derive(Debug)]
+pub struct Admission {
+    workers: usize,
+    queue: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    admitted_full: AtomicU64,
+    admitted_reduced: AtomicU64,
+    shed_fallback: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Admission {
+    /// Gate with `workers` concurrent slots and a queue of `queue`.
+    pub fn new(workers: usize, queue: usize) -> Admission {
+        Admission {
+            workers: workers.max(1),
+            queue,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            admitted_full: AtomicU64::new(0),
+            admitted_reduced: AtomicU64::new(0),
+            shed_fallback: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit, shed, or reject one request per the ladder above. Blocks
+    /// only while a queue slot waits for a worker.
+    pub fn admit(&self, degradable: bool) -> Admit<'_> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let depth = st.running + st.queued;
+        let level = if depth < self.workers {
+            ShedLevel::Full
+        } else if degradable {
+            // Ladder rungs for degradable work: reduce, then fall back.
+            if depth < self.workers + self.queue.div_ceil(2) {
+                ShedLevel::Reduced
+            } else {
+                drop(st);
+                self.shed_fallback.fetch_add(1, Ordering::Relaxed);
+                return Admit::Shed;
+            }
+        } else if depth < self.workers + self.queue {
+            ShedLevel::Full
+        } else {
+            drop(st);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            // Rough service-time guess; clients treat it as a hint, not
+            // a promise.
+            return Admit::Reject {
+                retry_after_ms: (25 * (depth as u64 + 1)).min(2_000),
+            };
+        };
+        st.queued += 1;
+        while st.running >= self.workers {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.queued -= 1;
+        st.running += 1;
+        drop(st);
+        match level {
+            ShedLevel::Full => self.admitted_full.fetch_add(1, Ordering::Relaxed),
+            ShedLevel::Reduced => self.admitted_reduced.fetch_add(1, Ordering::Relaxed),
+        };
+        Admit::Run(Permit { adm: self, level })
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.queue
+    }
+
+    /// Current `(running, queued)` occupancy.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.running, st.queued)
+    }
+
+    pub fn admitted_full(&self) -> u64 {
+        self.admitted_full.load(Ordering::Relaxed)
+    }
+
+    pub fn admitted_reduced(&self) -> u64 {
+        self.admitted_reduced.load(Ordering::Relaxed)
+    }
+
+    pub fn shed_fallback(&self) -> u64 {
+        self.shed_fallback.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_requests_run_at_full_budget() {
+        let adm = Admission::new(2, 4);
+        let a = adm.admit(true);
+        let b = adm.admit(false);
+        match (&a, &b) {
+            (Admit::Run(pa), Admit::Run(pb)) => {
+                assert_eq!(pa.level, ShedLevel::Full);
+                assert_eq!(pb.level, ShedLevel::Full);
+            }
+            _ => panic!("expected two running permits"),
+        }
+        assert_eq!(adm.occupancy(), (2, 0));
+        drop(a);
+        assert_eq!(adm.occupancy(), (1, 0));
+    }
+
+    #[test]
+    fn degradable_work_sheds_instead_of_queueing_deep() {
+        let adm = Admission::new(1, 2);
+        let _held = adm.admit(true); // occupies the only worker
+                                     // depth 1 → within workers+ceil(queue/2)=2 → queued Reduced…
+                                     // but that would block; test the shed rung directly by filling
+                                     // the queue with non-degradable waiters.
+        let adm = Arc::new(Admission::new(1, 0));
+        let held = match adm.admit(true) {
+            Admit::Run(p) => p,
+            _ => panic!("first must run"),
+        };
+        // queue=0: any further degradable request sheds immediately…
+        assert!(matches!(adm.admit(true), Admit::Shed));
+        assert_eq!(adm.shed_fallback(), 1);
+        // …and a non-degradable one is rejected with a hint.
+        match adm.admit(false) {
+            Admit::Reject { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected reject, got {other:?}"),
+        }
+        assert_eq!(adm.rejected(), 1);
+        drop(held);
+        assert!(matches!(adm.admit(false), Admit::Run(_)));
+    }
+
+    #[test]
+    fn queued_requests_run_when_a_slot_frees() {
+        let adm = Arc::new(Admission::new(1, 4));
+        let held = match adm.admit(false) {
+            Admit::Run(p) => p,
+            _ => panic!("first must run"),
+        };
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || match adm2.admit(false) {
+            Admit::Run(p) => {
+                let level = p.level;
+                drop(p);
+                level
+            }
+            other => panic!("expected queued run, got {other:?}"),
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(adm.occupancy(), (1, 1));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), ShedLevel::Full);
+        assert_eq!(adm.occupancy(), (0, 0));
+    }
+}

@@ -1,0 +1,178 @@
+//! A deliberately small HTTP/1.1 server-side codec: parse one request
+//! (request line, headers, `Content-Length` body), write one response,
+//! close. The service speaks JSON over a local socket to cooperating
+//! clients; connection reuse, chunked bodies, and the rest of HTTP are
+//! out of scope, and every connection is `Connection: close`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body. Programs are a few KB; this bound only
+/// exists so a misbehaving client cannot balloon the daemon's memory.
+pub const MAX_BODY: usize = 4 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+/// Read one request off the stream. `Ok(None)` means the peer closed
+/// without sending anything; `Err` is a malformed or oversized request
+/// (the connection handler answers 400 and closes).
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(format!("read request line: {e}")),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(format!("malformed request line `{}`", line.trim_end())),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err("connection closed mid-headers".into()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read header: {e}")),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// A response about to be written. `extra` carries endpoint-specific
+/// headers (e.g. `Retry-After`).
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub extra: Vec<(String, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.extra.push((name.to_string(), value));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        429 => "Too Many Requests",
+        // The service never produces 5xx by design; this arm exists only
+        // so the codec itself is total.
+        _ => "Unknown",
+    }
+}
+
+/// Write `resp` and flush. Errors are returned for logging; the
+/// connection is closed either way.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_a_request_and_writes_a_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            )
+            .unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/analyze");
+        assert_eq!(req.body, "{\"a\":1}");
+        write_response(&mut conn, &Response::json(200, "{\"ok\":true}".into())).unwrap();
+        drop(conn);
+        let text = client.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                format!(
+                    "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            s
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = read_request(&mut conn).unwrap_err();
+        assert!(err.contains("exceeds limit"), "{err}");
+        drop(client.join().unwrap());
+    }
+}

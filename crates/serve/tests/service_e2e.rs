@@ -1,0 +1,320 @@
+//! End-to-end contract tests for the differentiation service.
+//!
+//! Three pillars:
+//!
+//! - **Fidelity**: a report served over the wire is byte-identical
+//!   (wall-clock stripped) to the one-shot pipeline's, cache cold and
+//!   warm, for the paper's Table-1 kernels.
+//! - **Chaos**: concurrent clients against a daemon whose provers panic
+//!   at 20% — and at 100% — all receive FD-correct (possibly degraded)
+//!   responses, and the daemon stays up.
+//! - **Soak** (the acceptance criterion): with the admission queue
+//!   saturated and an all-panic `ChaosSolver` injected, every request
+//!   completes HTTP 200 with correct adjoints, and a subsequent clean
+//!   request is served from the warm shared cache with zero lia calls.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use formad::{full_report, Formad, FormadOptions};
+use formad_ir::{parse_any, program_to_string, Program};
+use formad_kernels::{lbm, GfmcCase, GreenGaussCase, StencilCase};
+use formad_machine::{dot_product_test, fill_real, Bindings, Machine};
+use formad_serve::{serve, Json, ServerHandle, ServiceConfig};
+
+// ---- tiny blocking HTTP client ----
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("write");
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {text}"));
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json = Json::parse(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
+    (status, json)
+}
+
+fn prove_body(source: &str, wrt: &[&str], of: &[&str], extra: &str) -> String {
+    let names = |list: &[&str]| {
+        let items: Vec<String> = list
+            .iter()
+            .map(|n| Json::Str(n.to_string()).render())
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    format!(
+        r#"{{"program":{},"wrt":{},"of":{}{extra}}}"#,
+        Json::Str(source.to_string()).render(),
+        names(wrt),
+        names(of),
+    )
+}
+
+/// Drop the only wall-clock-dependent token (the region time that ends
+/// `… N queries, 0.123s` header lines) so reports compare bytewise.
+fn strip_times(report: &str) -> String {
+    report
+        .lines()
+        .map(|l| match l.split_once(" queries, ") {
+            Some((head, _)) => format!("{head} queries"),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The paper's Table-1 kernel suite, as (name, program, wrt, of).
+fn table1() -> Vec<(&'static str, Program, Vec<&'static str>, Vec<&'static str>)> {
+    vec![
+        (
+            "stencil",
+            StencilCase::small(32, 1).ir(),
+            StencilCase::independents().to_vec(),
+            StencilCase::dependents().to_vec(),
+        ),
+        (
+            "gfmc",
+            GfmcCase::new(8, 1).ir(),
+            GfmcCase::independents().to_vec(),
+            GfmcCase::dependents().to_vec(),
+        ),
+        (
+            "green_gauss",
+            GreenGaussCase::linear(24, 1).ir(),
+            GreenGaussCase::independents().to_vec(),
+            GreenGaussCase::dependents().to_vec(),
+        ),
+        (
+            "lbm",
+            lbm::lbm_ir(),
+            lbm::independents().to_vec(),
+            lbm::dependents().to_vec(),
+        ),
+    ]
+}
+
+fn start(cfg: ServiceConfig) -> ServerHandle {
+    serve("127.0.0.1:0", cfg).expect("bind ephemeral")
+}
+
+// ---- fidelity ----
+
+#[test]
+fn reports_are_byte_identical_to_the_one_shot_pipeline_cold_and_warm() {
+    let handle = start(ServiceConfig::default());
+    let addr = handle.addr();
+    for (name, ir, wrt, of) in table1() {
+        let source = program_to_string(&ir);
+        // The one-shot reference goes through the same source text the
+        // service receives (exactly what the CLI does).
+        let primal = parse_any(&source).expect(name);
+        let oneshot = Formad::new(FormadOptions::new(&wrt, &of))
+            .analyze(&primal)
+            .unwrap_or_else(|e| panic!("{name}: one-shot failed: {e}"));
+        let want = strip_times(&full_report(&primal.name, &oneshot));
+        // Cold (first visit of this kernel), then warm (shared cache).
+        for pass in ["cold", "warm"] {
+            let (status, json) = post(addr, "/v1/prove", &prove_body(&source, &wrt, &of, ""));
+            assert_eq!(status, 200, "{name} {pass}: {json}");
+            let got = json.get("report").and_then(Json::as_str).unwrap_or("");
+            assert_eq!(
+                strip_times(got),
+                want,
+                "{name} {pass}: service report differs from one-shot"
+            );
+            assert_eq!(
+                json.get("degraded").and_then(Json::as_bool),
+                Some(oneshot.degraded()),
+                "{name} {pass}"
+            );
+        }
+    }
+}
+
+// ---- chaos ----
+
+/// FD-check an adjoint served over the wire for the small stencil.
+fn assert_stencil_adjoint_correct(adjoint_src: &str, ctx: &str) {
+    let case = StencilCase::small(32, 1);
+    let primal = case.ir();
+    let adjoint = parse_any(adjoint_src).unwrap_or_else(|e| panic!("{ctx}: bad adjoint: {e}"));
+    let base: Bindings = case.bindings(11);
+    for threads in [1usize, 4] {
+        let t = dot_product_test(
+            &primal,
+            &adjoint,
+            &base,
+            &[("uold", fill_real("seed_u", 21, 32))],
+            &[("unew", fill_real("seed_v", 22, 32))],
+            &Machine::with_threads(threads),
+            1e-6,
+            "b",
+        )
+        .unwrap_or_else(|e| panic!("{ctx} T={threads}: {e}"));
+        assert!(
+            t.passes(1e-6),
+            "{ctx} T={threads}: fd={} adj={} rel={}",
+            t.fd_value,
+            t.adjoint_value,
+            t.rel_error
+        );
+    }
+}
+
+#[test]
+fn concurrent_chaos_clients_all_get_correct_responses_and_daemon_survives() {
+    let handle = start(ServiceConfig::default());
+    let addr = handle.addr();
+    let source = program_to_string(&StencilCase::small(32, 1).ir());
+    let wrt = StencilCase::independents();
+    let of = StencilCase::dependents();
+    // Half the clients run 20%-panic provers, half all-panic; every
+    // response must be 200 with an FD-correct adjoint either way.
+    let clients: Vec<_> = (0..8u64)
+        .map(|i| {
+            let body = prove_body(
+                &source,
+                wrt,
+                of,
+                &format!(
+                    r#","chaos":{{"seed":{},"panic_per_mille":{}}}"#,
+                    i + 1,
+                    if i % 2 == 0 { 200 } else { 1000 }
+                ),
+            );
+            std::thread::spawn(move || post(addr, "/v1/prove", &body))
+        })
+        .collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        let (status, json) = c.join().expect("client thread");
+        assert_eq!(status, 200, "client {i}: {json}");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "client {i}"
+        );
+        let adjoint = json
+            .get("adjoint")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("client {i}: no adjoint: {json}"));
+        assert_stencil_adjoint_correct(adjoint, &format!("chaos client {i}"));
+    }
+    // The daemon is still healthy: a clean request succeeds undegraded.
+    let (status, json) = post(addr, "/v1/prove", &prove_body(&source, wrt, of, ""));
+    assert_eq!(status, 200, "{json}");
+    assert_eq!(
+        json.get("degraded").and_then(Json::as_bool),
+        Some(false),
+        "{json}"
+    );
+}
+
+// ---- soak (acceptance criterion) ----
+
+#[test]
+fn soak_saturated_all_panic_storm_then_clean_request_from_warm_cache() {
+    // A deliberately tiny gate so the storm saturates it immediately.
+    let handle = start(ServiceConfig {
+        workers: 2,
+        queue: 2,
+        ..ServiceConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Phase 1 — warm the shared cache with every Table-1 kernel, and
+    // record how much linear-arithmetic work the cold passes cost.
+    let mut cold_lia = 0u64;
+    for (name, ir, wrt, of) in table1() {
+        let source = program_to_string(&ir);
+        let (status, json) = post(addr, "/v1/prove", &prove_body(&source, &wrt, &of, ""));
+        assert_eq!(status, 200, "{name} cold: {json}");
+        cold_lia += json
+            .get("stats")
+            .and_then(|s| s.get("lia_calls"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+    }
+    assert!(
+        cold_lia > 0,
+        "cold passes did no prover work — soak is vacuous"
+    );
+
+    // Phase 2 — the storm: more all-panic clients than workers+queue,
+    // so the admission ladder exercises every rung (full, reduced,
+    // shed-to-fallback). Every single response must be HTTP 200 with an
+    // FD-correct adjoint; degraded answers must say so.
+    let source = program_to_string(&StencilCase::small(32, 1).ir());
+    let wrt = StencilCase::independents();
+    let of = StencilCase::dependents();
+    let storm: Vec<_> = (0..12u64)
+        .map(|i| {
+            let body = prove_body(
+                &source,
+                wrt,
+                of,
+                &format!(r#","chaos":{{"seed":{},"panic_per_mille":1000}}"#, i + 1),
+            );
+            std::thread::spawn(move || post(addr, "/v1/prove", &body))
+        })
+        .collect();
+    let mut degraded_seen = 0u32;
+    for (i, c) in storm.into_iter().enumerate() {
+        let (status, json) = c.join().expect("storm client");
+        assert_eq!(status, 200, "storm client {i}: {json}");
+        let degraded = json
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let all_safe = json.get("all_safe").and_then(Json::as_bool);
+        // An all-panic prover can never prove disjointness, so any
+        // non-fallback answer must flag degradation and cannot claim
+        // everything proved safe; fallbacks are degraded by construction.
+        assert!(degraded, "storm client {i} not flagged degraded: {json}");
+        if json.get("fallback").and_then(Json::as_bool) == Some(false) {
+            assert_eq!(all_safe, Some(false), "storm client {i}: {json}");
+        }
+        degraded_seen += 1;
+        let adjoint = json
+            .get("adjoint")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("storm client {i}: no adjoint: {json}"));
+        assert_stencil_adjoint_correct(adjoint, &format!("storm client {i}"));
+    }
+    assert_eq!(degraded_seen, 12);
+
+    // Phase 3 — the daemon is unharmed: a clean request is served from
+    // the warm shared cache with zero lia calls, undegraded.
+    for (name, ir, wrt, of) in table1() {
+        let source = program_to_string(&ir);
+        let (status, json) = post(addr, "/v1/prove", &prove_body(&source, &wrt, &of, ""));
+        assert_eq!(status, 200, "{name} warm: {json}");
+        assert_eq!(
+            json.get("fallback").and_then(Json::as_bool),
+            Some(false),
+            "{name} warm: {json}"
+        );
+        let lia = json
+            .get("stats")
+            .and_then(|s| s.get("lia_calls"))
+            .and_then(Json::as_u64);
+        assert_eq!(lia, Some(0), "{name} warm pass did fresh lia work: {json}");
+    }
+
+    // The storm's rolled-back overlays must not have polluted the cache:
+    // its hit/insert counters only ever moved through absorbed overlays.
+    let svc = handle.service();
+    let cache = svc.engine().cache().expect("service cache");
+    assert!(!cache.is_empty(), "shared cache is empty after warmup");
+}

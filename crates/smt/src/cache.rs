@@ -76,17 +76,25 @@ impl CacheInner {
 /// regions, and whole kernel suites.
 ///
 /// For deterministic parallel analysis, a cache can be layered: an
-/// [`overlay`](ProofCache::overlay) reads through to its parent but writes
-/// only to its own private map. Workers each get an overlay, so a worker's
-/// lookups observe exactly (entries published before the fan-out) ∪ (its
-/// own inserts) — never a sibling's in-flight inserts — making hit/miss
-/// behavior independent of thread scheduling. After the workers join, the
-/// coordinator [`absorb`](ProofCache::absorb)s the overlays in a fixed
-/// order to publish their verdicts.
+/// [`overlay`](ProofCache::overlay) reads through to its parents but
+/// writes only to its own private map. Workers each get an overlay, so a
+/// worker's lookups observe exactly (entries published before the
+/// fan-out) ∪ (its own inserts) — never a sibling's in-flight inserts —
+/// making hit/miss behavior independent of thread scheduling. After the
+/// workers join, the coordinator [`absorb`](ProofCache::absorb)s the
+/// overlays in a fixed order to publish their verdicts.
+///
+/// Overlays chain: an overlay of an overlay reads its own entries, then
+/// each ancestor layer from nearest to the base cache. A long-lived
+/// service uses this to give every request a private layer over the
+/// shared base cache while the request's region workers each layer a
+/// further overlay on top — worker lookups still see the warm base. A
+/// layer is discarded (rolled back) by simply never absorbing it.
 #[derive(Debug, Clone, Default)]
 pub struct ProofCache {
     inner: Arc<CacheInner>,
-    parent: Option<Arc<CacheInner>>,
+    /// Read-through ancestors, nearest first.
+    parents: Vec<Arc<CacheInner>>,
 }
 
 impl ProofCache {
@@ -96,14 +104,24 @@ impl ProofCache {
     }
 
     /// A private write layer over this cache: lookups read this cache's
-    /// current entries (read-only), inserts stay in the overlay until
-    /// [`absorb`](ProofCache::absorb)ed. One level deep: overlaying an
-    /// overlay reads through to the overlay's own entries only.
+    /// current entries and those of its own ancestors (read-only),
+    /// inserts stay in the overlay until
+    /// [`absorb`](ProofCache::absorb)ed. Overlays nest to any depth; each
+    /// level keeps read access to every layer beneath it.
     pub fn overlay(&self) -> ProofCache {
+        let mut parents = Vec::with_capacity(self.parents.len() + 1);
+        parents.push(Arc::clone(&self.inner));
+        parents.extend(self.parents.iter().cloned());
         ProofCache {
             inner: Arc::new(CacheInner::default()),
-            parent: Some(Arc::clone(&self.inner)),
+            parents,
         }
+    }
+
+    /// Number of read-through layers beneath this cache (0 for a base
+    /// cache, 1 for a direct overlay, …).
+    pub fn depth(&self) -> usize {
+        self.parents.len()
     }
 
     /// Publish an overlay's privately-inserted verdicts into this cache.
@@ -123,13 +141,13 @@ impl ProofCache {
         }
     }
 
-    /// Look up a verdict (own entries, then the parent layer, if any).
-    /// Counts a hit or a miss.
+    /// Look up a verdict (own entries, then each parent layer from
+    /// nearest to the base). Counts a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<SatResult> {
         let found = self
             .inner
             .get(key)
-            .or_else(|| self.parent.as_ref().and_then(|p| p.get(key)));
+            .or_else(|| self.parents.iter().find_map(|p| p.get(key)));
         match found {
             Some(sat) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -966,6 +984,41 @@ mod tests {
         base.absorb(&ov1);
         assert_eq!(base.lookup("private"), Some(SatResult::Sat));
         assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn overlays_chain_through_to_the_base() {
+        // A service gives each request an overlay of the shared base
+        // cache; region workers overlay the request layer again. Lookups
+        // from the deepest layer must still see base entries.
+        let base = ProofCache::new();
+        base.insert("warm".into(), SatResult::Unsat);
+        let request = base.overlay();
+        request.insert("req".into(), SatResult::Sat);
+        let worker = request.overlay();
+        assert_eq!(worker.depth(), 2);
+        assert_eq!(worker.lookup("warm"), Some(SatResult::Unsat));
+        assert_eq!(worker.lookup("req"), Some(SatResult::Sat));
+        // Nearer layers shadow farther ones.
+        worker.insert("req".into(), SatResult::Unsat);
+        assert_eq!(worker.lookup("req"), Some(SatResult::Unsat));
+        assert_eq!(request.lookup("req"), Some(SatResult::Sat));
+        // Rollback is simply not absorbing: dropping the request layer
+        // leaves the base untouched.
+        drop(worker);
+        drop(request);
+        assert_eq!(base.len(), 1);
+        assert_eq!(base.lookup("req"), None);
+        // Absorb still publishes a deep overlay's own entries only.
+        let request = base.overlay();
+        let worker = request.overlay();
+        worker.insert("deep".into(), SatResult::Sat);
+        request.absorb(&worker);
+        assert_eq!(request.lookup("deep"), Some(SatResult::Sat));
+        assert_eq!(base.lookup("deep"), None);
+        base.absorb(&request);
+        assert_eq!(base.lookup("deep"), Some(SatResult::Sat));
+        assert_eq!(base.lookup("warm"), Some(SatResult::Unsat));
     }
 
     #[test]

@@ -361,13 +361,15 @@ fn minimize_explanation(
         .collect())
 }
 
-/// The discharge prefix of [`solve`] — presolve plus the level-0 theory
-/// check — without building the boolean abstraction. `Some` only for a
-/// *definite* verdict reached on that prefix; interrupts and residual
-/// problems map to `None` so the full search keeps sole responsibility
-/// for them. Used by the cache fast path in `Solver::check()`: most
-/// queries die here, and canonicalizing them for a cache key costs more
-/// than this prefix does.
+/// The *boolean* discharge prefix of [`solve`] — the presolve fixpoint
+/// alone, with no theory (linear-arithmetic) work. `Some` only for a
+/// *definite* verdict reached by pure propagation; interrupts and
+/// anything needing the feasibility core map to `None` so the full
+/// search keeps sole responsibility for them. Used by the cache fast
+/// path in `Solver::check()`: trivially-boolean queries die here for
+/// free, while every query that would cost lia calls is canonicalized
+/// and looked up first — a warm cache therefore answers repeat queries
+/// with *zero* lia calls.
 pub(crate) fn presolve_discharge(input: &[Clause], ctx: &mut SearchCtx<'_>) -> Option<SatResult> {
     if ctx.gov.poll().is_some() {
         return None;
@@ -380,27 +382,14 @@ pub(crate) fn presolve_discharge(input: &[Clause], ctx: &mut SearchCtx<'_>) -> O
         Presolved::Stopped(_) => return None,
         Presolved::Reduced { fixed, clauses } => (fixed, clauses),
     };
-    if fixed.is_empty() {
-        // Nothing conjunctive to theory-check (trivially feasible): the
-        // query is either empty (Sat) or genuinely disjunctive (hard).
-        if reduced.is_empty() {
-            ctx.presolve_discharges += 1;
-            return Some(SatResult::Sat);
-        }
-        return None;
+    if fixed.is_empty() && reduced.is_empty() {
+        // Nothing left at all after propagation: trivially satisfiable.
+        ctx.presolve_discharges += 1;
+        return Some(SatResult::Sat);
     }
-    let refs: Vec<&Literal> = fixed.iter().collect();
-    match lits_feasible(&refs, ctx) {
-        Feasibility::Infeasible => {
-            ctx.presolve_discharges += 1;
-            Some(SatResult::Unsat)
-        }
-        Feasibility::Feasible if reduced.is_empty() => {
-            ctx.presolve_discharges += 1;
-            Some(SatResult::Sat)
-        }
-        Feasibility::Feasible | Feasibility::Unknown(_) => None,
-    }
+    // Fixed literals would need a theory check, residual clauses a
+    // search — both are lia-bearing, so both go through the cache.
+    None
 }
 
 pub(crate) fn solve(input: &[Clause], ctx: &mut SearchCtx<'_>) -> SearchOutcome {

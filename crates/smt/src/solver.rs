@@ -364,11 +364,12 @@ impl Solver {
             .collect();
         // Canonical-cache fast path: a definite verdict cached for any
         // equisatisfiable assertion stack short-circuits the search.
-        // Computing a canonical key costs more than the presolve prefix
-        // most queries die on, so that prefix runs first and only
-        // presolve-hard queries — the ones worth remembering — are keyed
-        // and looked up. `Unknown` is never served from (or stored into)
-        // the cache.
+        // Computing a canonical key costs more than the boolean presolve
+        // prefix, so that prefix runs first; everything it cannot settle
+        // needs linear-arithmetic work, and exactly those queries — the
+        // ones worth remembering — are keyed and looked up, which makes
+        // a warm cache answer repeats with zero lia calls. `Unknown` is
+        // never served from (or stored into) the cache.
         let keyed = match self.cache.clone() {
             None => None,
             Some(cache) => {
