@@ -16,9 +16,12 @@
 //!                         (default BENCH_prover_phases.json)
 //! repro bench-kernels [--iters K] [--threads LIST] [--smoke] [--out PATH]
 //!                         real wall-clock of the four-version protocol on
-//!                         the native bytecode backend, bitwise-verified
-//!                         against the simulated interpreter; JSON written
-//!                         to PATH (default BENCH_kernels.json)
+//!                         both native backends (register bytecode and
+//!                         AOT-compiled kernels), bitwise-verified against
+//!                         the simulated interpreter, with the interpreter
+//!                         dispatch overhead calibrated from the measured
+//!                         data; JSON written to PATH (default
+//!                         BENCH_kernels.json)
 //! repro all [outdir]      everything; CSVs written to outdir (default
 //!                         repro_out/)
 //! repro --scale big ...   closer-to-paper problem sizes (slower)
@@ -228,9 +231,11 @@ fn bench_prover(rest: &[String]) {
 }
 
 /// `bench-kernels [--iters K] [--threads LIST] [--smoke] [--out PATH]` —
-/// run the four-version protocol natively (bytecode on real OS threads),
-/// bitwise-verify every cell against the simulated interpreter, and
-/// record wall-clock per discipline as JSON.
+/// run the four-version protocol natively on both real backends
+/// (register bytecode on OS threads, and AOT-compiled native kernels),
+/// bitwise-verify every cell against the simulated interpreter, fit the
+/// interpreter dispatch-overhead calibration, and record wall-clock per
+/// discipline × backend as JSON.
 fn bench_kernels(rest: &[String]) {
     let mut iters = 9usize;
     let mut threads: Vec<usize> = formad_bench::EXEC_THREADS.to_vec();
@@ -285,9 +290,10 @@ fn bench_kernels(rest: &[String]) {
     for kd in &r.kernels {
         let t = kd.check_threads;
         eprintln!(
-            "bench-kernels: {} @T={t}: FormAD {:.6}s vs atomic {:.6}s vs reduction {:.6}s \
+            "bench-kernels: {} @T={t} [{}]: FormAD {:.6}s vs atomic {:.6}s vs reduction {:.6}s \
              (FormAD/atomic measured {:.2}×, cost model predicted {:.2}×, agree: {})",
             kd.name,
+            kd.headline_backend(),
             kd.best_s("adj-FormAD", t),
             kd.best_s("adj-atomic", t),
             kd.best_s("adj-reduction", t),
@@ -295,7 +301,26 @@ fn bench_kernels(rest: &[String]) {
             kd.predicted_formad_over_atomic,
             kd.ordering_agrees
         );
+        if let Some(x) = kd.aot_over_bytecode("adj-FormAD") {
+            eprintln!(
+                "bench-kernels: {}: aot removed {x:.1}× dispatch overhead on the FormAD \
+                 adjoint (bytecode-predicted ratio, calibrated: {:.2}×, bytecode measured: {})",
+                kd.name,
+                kd.predicted_calibrated,
+                kd.formad_over_atomic_on("bytecode")
+                    .map(|r| format!("{r:.2}×"))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+        }
     }
+    eprintln!(
+        "bench-kernels: calibration over {} bytecode cells: {:.2e} s/cycle, {:.2e} s/instr \
+         (dispatch ≈ {:.0} model cycles per op)",
+        r.calibration.points,
+        r.calibration.seconds_per_cycle,
+        r.calibration.seconds_per_instruction,
+        r.calibration.dispatch_cycles_per_op
+    );
     eprintln!(
         "bench-kernels: all cells bitwise-identical to the simulated interpreter: {}; \
          measured orderings match the cost model: {}; wrote {out}",

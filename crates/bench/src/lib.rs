@@ -18,7 +18,8 @@ pub use experiments::{
     PAPER_THREADS,
 };
 pub use kernel_bench::{
-    kernel_bench, kernel_bench_json, KernelBenchResult, KernelExecData, VersionTiming, EXEC_THREADS,
+    kernel_bench, kernel_bench_json, Calibration, KernelBenchResult, KernelExecData, VersionTiming,
+    BACKENDS, EXEC_THREADS,
 };
 pub use prover_bench::{
     prover_bench, prover_bench_json, prover_phases, prover_phases_json, PhaseAttribution,

@@ -11,6 +11,12 @@
 //!                                                adjoint from `formad
 //!                                                adjoint` into a file to
 //!                                                execute generated code)
+//! formad compile  FILE [--set k=v --seed S]      ahead-of-time compile the
+//!                                                program's parallel regions
+//!                                                to a native kernel and
+//!                                                print the cached artifact
+//!                                                paths (prewarms `exec
+//!                                                --backend aot`)
 //! formad serve    [serve options]                run the resident JSON/HTTP
 //!                                                differentiation service
 //!                                                until SIGINT or a client
@@ -31,8 +37,11 @@
 //! exec options:
 //!   --backend B        sim (default; tree-walking interpreter with the
 //!                      synthetic cost model) | native (flat register
-//!                      bytecode on real OS threads). Outputs are
-//!                      bitwise-identical between the two.
+//!                      bytecode on real OS threads) | aot (parallel
+//!                      regions compiled to a native cdylib via `rustc`,
+//!                      cached under `FORMAD_AOT_DIR`, falling back to
+//!                      native bytecode if the compile fails). Outputs
+//!                      are bitwise-identical across all three.
 //!   --threads N        execution threads for `!$omp parallel do` regions
 //!                      (default 1)
 //!   --set k=v,...      scalar parameter values; every integer parameter
@@ -145,8 +154,9 @@ fn usage() -> ExitCode {
          [--no-contexts] [--no-increment] [--table1 NAME] \
          [--prover-timeout-ms N] [--deadline-ms N] [--jobs N] [--no-cache] \
          [--search-core cdcl|legacy] [--trace PATH]\n       \
-         formad exec FILE [--backend sim|native] [--threads N] \
+         formad exec FILE [--backend sim|native|aot] [--threads N] \
          [--set k=v,...] [--seed S] [--deadline-ms N]\n       \
+         formad compile FILE [--set k=v,...] [--seed S]\n       \
          formad serve [--addr HOST:PORT] [--workers N] [--queue N]"
     );
     ExitCode::from(2)
@@ -264,8 +274,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--backend" => {
                 k += 1;
                 let raw = rest.get(k).ok_or_else(usage)?;
-                if !matches!(raw.as_str(), "sim" | "native") {
-                    eprintln!("--backend expects `sim` or `native`, got `{raw}`");
+                if !matches!(raw.as_str(), "sim" | "native" | "aot") {
+                    eprintln!("--backend expects `sim`, `native` or `aot`, got `{raw}`");
                     return Err(usage());
                 }
                 args.backend = raw.clone();
@@ -318,9 +328,11 @@ fn parse_args() -> Result<Args, ExitCode> {
         }
         k += 1;
     }
-    // `exec` runs the program as-is; everything else differentiates and
-    // needs the independent/dependent sets.
-    if args.command != "exec" && (args.wrt.is_empty() || args.of.is_empty()) {
+    // `exec` and `compile` take the program as-is; everything else
+    // differentiates and needs the independent/dependent sets.
+    if !matches!(args.command.as_str(), "exec" | "compile")
+        && (args.wrt.is_empty() || args.of.is_empty())
+    {
         eprintln!("--wrt and --of are required");
         return Err(usage());
     }
@@ -488,38 +500,58 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Bind `--set`/`--seed` parameters for `exec`/`compile`, mapping bind
+/// failures onto the shared exit-code ladder.
+fn bind_for_exec(
+    args: &Args,
+    primal: &formad_ir::Program,
+) -> Result<formad_machine::Bindings, ExitCode> {
+    use formad_machine::{bind_params, BindError};
+    match bind_params(primal, &args.sets, args.seed) {
+        Ok(b) => Ok(b),
+        Err(e @ BindError::Lower(_)) => {
+            eprintln!("{e}");
+            Err(code_for(FormadErrorKind::Validate))
+        }
+        Err(e @ BindError::MissingInt { .. }) => {
+            eprintln!("{e}");
+            Err(ExitCode::from(2))
+        }
+        Err(e) => {
+            eprintln!("--set: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 /// `formad exec`: bind parameters, run on the chosen backend, print the
-/// `intent(out)`/`intent(inout)` results. The two backends are
+/// `intent(out)`/`intent(inout)` results. All three backends are
 /// bitwise-identical, so this output can be diffed across them directly.
 /// `--deadline-ms` is honored like `prove`: expiry — before or during
 /// the run — is a hard error (exit 7), so every CLI verb shares one
 /// deadline story and the service can reuse it per-request.
 fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
-    use formad_machine::{bind_params, output_lines, run, run_native, BindError, Machine};
+    use formad_machine::{output_lines, run, run_aot, run_native, Machine};
 
     let deadline = args.deadline_ms.map(Deadline::in_ms);
     if let Some(c) = check_exec_deadline(&deadline, "execution started") {
         return c;
     }
-    let mut bind = match bind_params(primal, &args.sets, args.seed) {
+    let mut bind = match bind_for_exec(args, primal) {
         Ok(b) => b,
-        Err(e @ BindError::Lower(_)) => {
-            eprintln!("{e}");
-            return code_for(FormadErrorKind::Validate);
-        }
-        Err(e @ BindError::MissingInt { .. }) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-        Err(e) => {
-            eprintln!("--set: {e}");
-            return ExitCode::from(2);
-        }
+        Err(c) => return c,
     };
 
     let t0 = std::time::Instant::now();
     let res = match args.backend.as_str() {
         "native" => run_native(primal, &mut bind, args.threads),
+        "aot" => run_aot(primal, &mut bind, args.threads).map(|fallback| {
+            // Degradation, not errors: a failed kernel build lands on the
+            // bytecode backend with identical results and a stderr note.
+            if let Some(reason) = fallback {
+                eprintln!("formad: aot unavailable, fell back to native bytecode ({reason})");
+            }
+        }),
         _ => run(primal, &mut bind, &Machine::with_threads(args.threads)).map(|_| ()),
     };
     let elapsed = t0.elapsed();
@@ -540,6 +572,59 @@ fn exec_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     for line in output_lines(primal, &bind) {
         println!("{line}");
     }
+    ExitCode::SUCCESS
+}
+
+/// `formad compile`: ahead-of-time build the native kernel for a
+/// program's parallel regions and print where the artifacts landed, so a
+/// later `exec --backend aot` (or a serve instance sharing the same
+/// `FORMAD_AOT_DIR`) starts warm. Unlike `exec`, a failed kernel build
+/// here is a hard error (exit 2): the entire point of the verb is the
+/// artifact, so there is nothing to degrade to.
+fn compile_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
+    use formad_machine::{aot, compile, load_or_compile, lower};
+
+    let bind = match bind_for_exec(args, primal) {
+        Ok(b) => b,
+        Err(c) => return c,
+    };
+    let lp = match lower(primal, &bind) {
+        Ok(lp) => lp,
+        Err(e) => {
+            eprintln!("lower: {e}");
+            return code_for(FormadErrorKind::Validate);
+        }
+    };
+    let bc = match compile(&lp, primal) {
+        Ok(bc) => bc,
+        Err(e) => {
+            eprintln!("bytecode: {e}");
+            return code_for(FormadErrorKind::Validate);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let kernel = match load_or_compile(&lp, &bc) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("formad compile: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stats = aot::stats();
+    eprintln!(
+        "formad: compile `{}` in {:.3}s ({})",
+        primal.name,
+        t0.elapsed().as_secs_f64(),
+        if stats.compiles > 0 {
+            "fresh build"
+        } else {
+            "cache hit"
+        }
+    );
+    println!("hash:    {}", kernel.hash());
+    println!("regions: {}", kernel.region_count());
+    println!("cdylib:  {}", kernel.lib_path().display());
+    println!("source:  {}", kernel.source_path().display());
     ExitCode::SUCCESS
 }
 
@@ -566,6 +651,9 @@ fn run(args: &Args, primal: &formad_ir::Program) -> ExitCode {
     }
     if args.command == "exec" {
         return exec_cmd(args, primal);
+    }
+    if args.command == "compile" {
+        return compile_cmd(args, primal);
     }
     let wrt: Vec<&str> = args.wrt.iter().map(|s| s.as_str()).collect();
     let of: Vec<&str> = args.of.iter().map(|s| s.as_str()).collect();

@@ -637,6 +637,112 @@ fn exec_usage_errors() {
 }
 
 #[test]
+fn exec_aot_backend_matches_sim_and_compile_prewarms() {
+    let f = write_temp("axpy_aot.f90", AXPY_F);
+    // Keep this test's kernel cache away from the developer's real one.
+    let dir = std::env::temp_dir().join(format!("formad-cli-aot-{}", std::process::id()));
+    let run_in = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+            .args(args)
+            .env("FORMAD_AOT_DIR", &dir)
+            .output()
+            .expect("run formad");
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+            out.status.code(),
+        )
+    };
+    // Prebuild: `formad compile` prints the artifact paths.
+    let (out, err, code) = run_in(&["compile", f.to_str().unwrap(), "--set", "n=48,a=0.5"]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("regions: 1"), "{out}");
+    assert!(out.contains("cdylib:"), "{out}");
+    assert!(out.contains("source:"), "{out}");
+    let so = out
+        .lines()
+        .find_map(|l| l.strip_prefix("cdylib:"))
+        .expect("cdylib line")
+        .trim()
+        .to_string();
+    assert!(std::path::Path::new(&so).exists(), "missing artifact {so}");
+    // The warmed cache serves `exec --backend aot`, bitwise equal to sim.
+    let exec = |backend: &str| {
+        let (out, err, code) = run_in(&[
+            "exec",
+            f.to_str().unwrap(),
+            "--set",
+            "n=48,a=0.5",
+            "--backend",
+            backend,
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(code, Some(0), "{err}");
+        assert!(err.contains(&format!("backend={backend}")), "{err}");
+        (out, err)
+    };
+    let (sim, _) = exec("sim");
+    let (aot, aot_err) = exec("aot");
+    assert_eq!(sim, aot);
+    assert!(
+        !aot_err.contains("fell back"),
+        "warmed cache must not fall back: {aot_err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exec_aot_falls_back_when_the_toolchain_is_broken() {
+    // Degradation, not errors: with no usable `rustc` and a cold cache,
+    // `exec --backend aot` lands on the bytecode backend, succeeds, and
+    // prints the same outputs — plus a stderr note naming the reason.
+    let f = write_temp("axpy_aotfail.f90", AXPY_F);
+    let dir = std::env::temp_dir().join(format!("formad-cli-aotfail-{}", std::process::id()));
+    let args = [
+        "exec",
+        f.to_str().unwrap(),
+        "--set",
+        "n=48,a=0.5",
+        "--backend",
+        "aot",
+    ];
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(args)
+        .env("FORMAD_AOT_DIR", &dir)
+        .env("FORMAD_AOT_RUSTC", "/nonexistent/formad-test-rustc")
+        .output()
+        .expect("run formad");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{err}");
+    assert!(err.contains("fell back to native bytecode"), "{err}");
+    let (sim, _, ok) = formad(&[
+        "exec",
+        f.to_str().unwrap(),
+        "--set",
+        "n=48,a=0.5",
+        "--backend",
+        "sim",
+    ]);
+    assert!(ok);
+    assert_eq!(sim, String::from_utf8_lossy(&out.stdout));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // `formad compile` has nothing to degrade to: same broken toolchain
+    // is a hard usage/IO error (exit 2) with the compiler's diagnostic.
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(["compile", f.to_str().unwrap(), "--set", "n=48,a=0.5"])
+        .env("FORMAD_AOT_DIR", &dir)
+        .env("FORMAD_AOT_RUSTC", "/nonexistent/formad-test-rustc")
+        .output()
+        .expect("run formad");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{err}");
+    assert!(err.contains("failed to spawn"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn explain_narrates_decisions() {
     let f = write_temp("explain.f90", FIG2_F);
     let (out, _, ok) = formad(&["explain", f.to_str().unwrap(), "--wrt", "x", "--of", "y"]);

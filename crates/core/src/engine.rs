@@ -24,6 +24,13 @@
 //!   the overlay is dropped and the shared cache is untouched. A
 //!   multi-tenant daemon uses this so a poisoned request cannot leak
 //!   half-finished state into every later request's lookups.
+//!
+//! The execution side has an analogue of this cache: the process-wide
+//! AOT kernel registry in `formad-machine`'s `aot` module, which
+//! memoizes compiled native kernels (keyed by generated-source hash, on
+//! disk and in-process) the same way this engine memoizes prover
+//! verdicts, so a daemon's repeat `exec` requests skip `rustc` exactly
+//! like its repeat `prove` requests skip the solver.
 
 use std::collections::HashMap;
 use std::time::Instant;

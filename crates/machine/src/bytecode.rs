@@ -347,7 +347,7 @@ pub fn compile(lp: &LProgram, prog: &Program) -> Result<BcProgram, ExecError> {
 /// Structural equality of pure lowered expressions, used to recognize
 /// the increment pattern `a(i…) = a(i…) + e`. Constants compare by bits
 /// so a match implies identical evaluation.
-fn lexpr_eq(a: &LExpr, b: &LExpr) -> bool {
+pub(crate) fn lexpr_eq(a: &LExpr, b: &LExpr) -> bool {
     match (a, b) {
         (LExpr::ConstR(x), LExpr::ConstR(y)) => x.to_bits() == y.to_bits(),
         (LExpr::ConstI(x), LExpr::ConstI(y)) => x == y,

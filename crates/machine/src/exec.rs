@@ -175,6 +175,14 @@ enum Exit {
     Par { region: u16, resume: usize },
 }
 
+/// Shared array base pointers handed to AOT region workers. Sync under
+/// the same contract as [`RawView`]: the generated code performs element
+/// accesses through relaxed atomics, never plain concurrent writes.
+struct Bases(Vec<*mut u64>);
+
+unsafe impl Send for Bases {}
+unsafe impl Sync for Bases {}
+
 // ---- the engine ----
 
 /// A reusable native executor: persistent thread pool plus per-thread
@@ -238,6 +246,21 @@ impl NativeEngine {
     /// the same contract (and the same error messages) as the simulated
     /// interpreter.
     pub fn run(&mut self, bc: &BcProgram, bind: &mut Bindings) -> Result<(), ExecError> {
+        self.run_with(bc, None, bind)
+    }
+
+    /// Like [`NativeEngine::run`], but parallel regions dispatch to the
+    /// AOT `kernel`'s compiled entry points when one is provided (and it
+    /// has the region — otherwise that region interprets bytecode).
+    /// Sequential code always interprets: regions are the hot path, and
+    /// keeping one interpreter for the scaffolding keeps the backends
+    /// trivially in lockstep everywhere except the generated functions.
+    pub fn run_with(
+        &mut self,
+        bc: &BcProgram,
+        kernel: Option<&crate::aot::AotKernel>,
+        bind: &mut Bindings,
+    ) -> Result<(), ExecError> {
         let mut reals = vec![0.0f64; bc.n_real_regs];
         let mut ints = vec![0i64; bc.n_int_regs];
         let param_names: Vec<&str> = bc
@@ -327,13 +350,11 @@ impl NativeEngine {
             match exit {
                 Exit::Done => break,
                 Exit::Par { region, resume } => {
-                    self.run_region(
-                        bc,
-                        &bc.regions[region as usize],
-                        &mut reals,
-                        &mut ints,
-                        &mem,
-                    )?;
+                    let reg = &bc.regions[region as usize];
+                    match kernel.and_then(|k| k.region(region as usize)) {
+                        Some(f) => self.run_region_aot(bc, reg, f, &mut reals, &mut ints, &mem)?,
+                        None => self.run_region(bc, reg, &mut reals, &mut ints, &mem)?,
+                    }
                     pc = resume;
                 }
             }
@@ -553,6 +574,213 @@ impl NativeEngine {
             }
         }
         Ok(())
+    }
+
+    /// [`Self::run_region`] with the per-iteration body replaced by one
+    /// call into the region's compiled entry point. Everything around
+    /// that call — geometry, chunking, scratch preparation, identity
+    /// initialization, error precedence, and the ascending-thread
+    /// reduction merge — is kept line-for-line identical to the bytecode
+    /// path, because that is what makes the backends bitwise equal.
+    fn run_region_aot(
+        &self,
+        bc: &BcProgram,
+        reg: &BcRegion,
+        f: crate::aot::RegionFn,
+        reals: &mut [f64],
+        ints: &mut [i64],
+        mem: &Mem,
+    ) -> Result<(), ExecError> {
+        use crate::aot::abi::{AotEnv, AotTape, FORMAD_AOT_ABI};
+
+        let lo = ints[reg.lo as usize];
+        let hi = ints[reg.hi as usize];
+        let step = ints[reg.step as usize];
+        if step == 0 {
+            return Err(ExecError::new("zero loop step"));
+        }
+        let count: i64 = if step > 0 {
+            if hi < lo {
+                0
+            } else {
+                (hi - lo) / step + 1
+            }
+        } else if hi > lo {
+            0
+        } else {
+            (lo - hi) / (-step) + 1
+        };
+        if count == 0 {
+            return Ok(());
+        }
+        let t_n = self.threads;
+        let chunk = (count as usize).div_ceil(t_n);
+        let bases = Bases(mem.views.iter().map(|v| v.ptr).collect());
+        // Capture the `Sync` wrapper, not its field (2021 disjoint
+        // capture would otherwise seize the non-Sync `Vec` itself).
+        let bases = &bases;
+
+        let worker = |t: usize| {
+            // Sound: worker `t` is the only toucher of slots `t` now.
+            let scratch = unsafe { self.scratch.get(t) };
+            scratch.err = None;
+            scratch.participated = false;
+            let a_begin = (t * chunk) as i64;
+            let a_end = (((t + 1) * chunk).min(count as usize)) as i64;
+            if a_begin >= a_end {
+                return;
+            }
+            scratch.participated = true;
+            scratch.reals.clear();
+            scratch.reals.extend_from_slice(reals);
+            scratch.ints.clear();
+            scratch.ints.extend_from_slice(ints);
+            for (op, s, is_real) in &reg.red_scalars {
+                if *is_real {
+                    scratch.reals[*s as usize] = identity(*op);
+                } else {
+                    scratch.ints[*s as usize] = identity(*op) as i64;
+                }
+            }
+            for (k, (op, id)) in reg.red_arrays.iter().enumerate() {
+                if scratch.red_bufs.len() <= k {
+                    scratch.red_bufs.push(Vec::new());
+                }
+                let buf = &mut scratch.red_bufs[k];
+                buf.clear();
+                buf.resize(bc.arrays[*id as usize].len, identity(*op));
+            }
+            let red_ptrs: Vec<*mut f64> = (0..reg.red_arrays.len())
+                .map(|k| scratch.red_bufs[k].as_mut_ptr())
+                .collect();
+            let tapes = unsafe { self.tapes.get(t) };
+            let mut env = AotEnv {
+                abi: FORMAD_AOT_ABI,
+                lo,
+                step,
+                count,
+                a_begin,
+                a_end,
+                reals: scratch.reals.as_mut_ptr(),
+                ints: scratch.ints.as_mut_ptr(),
+                arrays: bases.0.as_ptr(),
+                red_bufs: red_ptrs.as_ptr(),
+                tape_r: AotTape {
+                    ptr: tapes.r.as_mut_ptr() as *mut u8,
+                    len: tapes.r.len(),
+                    cap: tapes.r.capacity(),
+                    host: (&mut tapes.r) as *mut Vec<f64> as *mut core::ffi::c_void,
+                },
+                tape_i: AotTape {
+                    ptr: tapes.i.as_mut_ptr() as *mut u8,
+                    len: tapes.i.len(),
+                    cap: tapes.i.capacity(),
+                    host: (&mut tapes.i) as *mut Vec<i64> as *mut core::ffi::c_void,
+                },
+                grow_r: crate::aot::grow_tape_r,
+                grow_i: crate::aot::grow_tape_i,
+                err_value: 0,
+                err_arr: 0,
+                err_dim: 0,
+            };
+            let rc = unsafe { f(&mut env) };
+            // Adopt whatever the region pushed/popped; the generated
+            // epilogue synced `len` on success *and* error exits.
+            unsafe {
+                tapes.r.set_len(env.tape_r.len);
+                tapes.i.set_len(env.tape_i.len);
+            }
+            if rc != 0 {
+                scratch.err = Some(decode_aot_error(bc, &env, rc));
+            }
+        };
+
+        let os = self.os_threads.min(t_n);
+        if os <= 1 {
+            for t in 0..t_n {
+                worker(t);
+            }
+        } else {
+            self.pool.run(os, &|w| {
+                let mut t = w;
+                while t < t_n {
+                    worker(t);
+                    t += os;
+                }
+            });
+        }
+
+        // First error in thread order — the order the simulated machine
+        // would have encountered it.
+        for t in 0..t_n {
+            let scratch = unsafe { self.scratch.get(t) };
+            if let Some(e) = scratch.err.take() {
+                return Err(e);
+            }
+        }
+
+        if !reg.red_scalars.is_empty() {
+            for (op, s, is_real) in &reg.red_scalars {
+                let mut acc = identity(*op);
+                for t in 0..t_n {
+                    let scratch = unsafe { self.scratch.get(t) };
+                    if !scratch.participated {
+                        continue;
+                    }
+                    let part = if *is_real {
+                        scratch.reals[*s as usize]
+                    } else {
+                        scratch.ints[*s as usize] as f64
+                    };
+                    acc = combine(*op, acc, part);
+                }
+                if *is_real {
+                    let saved = reals[*s as usize];
+                    reals[*s as usize] = combine(*op, saved, acc);
+                } else {
+                    let saved = ints[*s as usize] as f64;
+                    ints[*s as usize] = combine(*op, saved, acc) as i64;
+                }
+            }
+        }
+        for (k, (op, id)) in reg.red_arrays.iter().enumerate() {
+            let view = mem.views[*id as usize];
+            let len = bc.arrays[*id as usize].len;
+            let mut acc = vec![identity(*op); len];
+            for t in 0..t_n {
+                let scratch = unsafe { self.scratch.get(t) };
+                if !scratch.participated {
+                    continue;
+                }
+                for (a, v) in acc.iter_mut().zip(&scratch.red_bufs[k]) {
+                    *a = combine(*op, *a, *v);
+                }
+            }
+            for (j, a) in acc.iter().enumerate() {
+                view.store_r(j, combine(*op, view.load_r(j), *a));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Re-render an AOT region error code as the exact interpreter message.
+fn decode_aot_error(bc: &BcProgram, env: &crate::aot::abi::AotEnv, rc: i32) -> ExecError {
+    use crate::aot::abi as a;
+    match rc {
+        a::AOT_ERR_OOB => {
+            let meta = &bc.arrays[env.err_arr as usize];
+            let dim = env.err_dim as usize;
+            oob(env.err_value, meta.dims[dim], dim + 1, &meta.name)
+        }
+        a::AOT_ERR_DIV_ZERO => ExecError::new("integer division by zero"),
+        a::AOT_ERR_MOD_ZERO => ExecError::new("mod by zero"),
+        a::AOT_ERR_NEG_EXP => ExecError::new("negative integer exponent"),
+        a::AOT_ERR_POW_OVERFLOW => ExecError::new("integer overflow in **"),
+        a::AOT_ERR_ZERO_STEP => ExecError::new("zero loop step"),
+        a::AOT_ERR_POP_EMPTY_R => ExecError::new("pop from empty real tape"),
+        a::AOT_ERR_POP_EMPTY_I => ExecError::new("pop from empty int tape"),
+        other => ExecError::new(format!("AOT region returned unknown error code {other}")),
     }
 }
 

@@ -13,6 +13,12 @@
 //!   compile to a flat register bytecode executed on real OS threads via
 //!   a persistent `formad-runtime` pool, with the same static chunk
 //!   schedule as the simulator and bitwise-identical results;
+//! - [`aot`]: the **AOT backend** — parallel regions emitted as
+//!   specialized Rust source (strides and extents baked in, increment
+//!   disciplines compiled rather than branched on), built once via
+//!   `rustc` into a hash-keyed cdylib cache and run on the same pool
+//!   and schedule as the bytecode engine; failures degrade to bytecode,
+//!   results stay bitwise-identical across all three backends;
 //! - [`fd`]: dot-product (finite-difference) validation of adjoints and
 //!   tangents, parameterized over the execution backend.
 //!
@@ -20,6 +26,7 @@
 //! *cycle accounting* models parallel hardware. See `DESIGN.md`
 //! ("Execution backends") for the substitution rationale.
 
+pub mod aot;
 pub mod bindings;
 pub mod bytecode;
 pub mod cost;
@@ -29,6 +36,7 @@ pub mod fd;
 pub mod interp;
 pub mod lower;
 
+pub use aot::{load_or_compile, run_aot, AotError, AotKernel};
 pub use bindings::{Bindings, ExecError};
 pub use bytecode::{compile, BcProgram};
 pub use cost::{CostModel, ExecResult, ExecStats};

@@ -1,0 +1,212 @@
+//! The AOT differential wall: every generated adjoint version of every
+//! executable Table-2 kernel, run through the AOT native backend, must
+//! be bitwise identical to BOTH the simulated interpreter and the
+//! bytecode executor, at 1 and 4 logical threads — the same gate the
+//! bytecode backend passed in `bench/tests/native_kernels.rs`.
+//!
+//! A second test forces kernel compilation to fail (by pointing
+//! `FORMAD_AOT_RUSTC` at a nonexistent binary and the cache at an empty
+//! directory) and proves the degradation contract: the run still
+//! succeeds, on the bytecode backend, with identical results.
+
+use std::sync::Mutex;
+
+use formad::{Formad, FormadOptions, IncMode, ParallelTreatment};
+use formad_ir::Program;
+use formad_kernels::{GfmcCase, GreenGaussCase, StencilCase};
+use formad_machine::{
+    compile, load_or_compile, lower, run, run_aot, Bindings, Machine, NativeEngine,
+};
+
+/// `FORMAD_AOT_RUSTC`/`FORMAD_AOT_DIR` are process-global; tests that
+/// compile kernels serialize on this so the forced-failure test cannot
+/// poison a concurrent real compile.
+static AOT_ENV: Mutex<()> = Mutex::new(());
+
+struct Case {
+    name: &'static str,
+    program: Program,
+    base: Bindings,
+    indep: &'static [&'static str],
+    dep: &'static [&'static str],
+}
+
+fn cases() -> Vec<Case> {
+    let st1 = StencilCase::small(48, 2);
+    let st8 = StencilCase::large(48, 1);
+    let gf = GfmcCase::new(8, 1);
+    let gg = GreenGaussCase::linear(40, 2);
+    vec![
+        Case {
+            name: "stencil r=1",
+            program: st1.ir(),
+            base: st1.bindings(7),
+            indep: StencilCase::independents(),
+            dep: StencilCase::dependents(),
+        },
+        Case {
+            name: "stencil r=8",
+            program: st8.ir(),
+            base: st8.bindings(7),
+            indep: StencilCase::independents(),
+            dep: StencilCase::dependents(),
+        },
+        Case {
+            name: "gfmc",
+            program: gf.ir(),
+            base: gf.bindings_split(7),
+            indep: GfmcCase::independents(),
+            dep: GfmcCase::dependents(),
+        },
+        Case {
+            name: "green-gauss",
+            program: gg.ir(),
+            base: gg.bindings(7),
+            indep: GreenGaussCase::independents(),
+            dep: GreenGaussCase::dependents(),
+        },
+    ]
+}
+
+/// The three increment disciplines plus the primal (the same set
+/// `formad-bench`'s `ProgramVersions` benches, minus the serial
+/// variants, which have no parallel regions for AOT to compile).
+fn versions(case: &Case) -> Vec<(&'static str, Program)> {
+    let tool = Formad::new(FormadOptions::new(case.indep, case.dep));
+    let diff = tool.differentiate(&case.program).expect("formad pipeline");
+    vec![
+        ("primal", case.program.clone()),
+        ("adj-FormAD", diff.adjoint),
+        (
+            "adj-atomic",
+            tool.adjoint_with(&case.program, ParallelTreatment::Uniform(IncMode::Atomic))
+                .expect("atomic adjoint"),
+        ),
+        (
+            "adj-reduction",
+            tool.adjoint_with(
+                &case.program,
+                ParallelTreatment::Uniform(IncMode::Reduction),
+            )
+            .expect("reduction adjoint"),
+        ),
+    ]
+}
+
+/// Seed the adjoint inputs: dependents' bars at 1.0, independents' bars
+/// accumulated from zero (mirrors `formad_bench::adjoint_bindings`).
+fn adjoint_bindings(base: &Bindings, indep: &[&str], dep: &[&str]) -> Bindings {
+    let mut b = base.clone();
+    for name in dep {
+        let len = base.get_real_array(name).expect("dependent bound").len();
+        b.real_arrays.insert(format!("{name}b"), vec![1.0; len]);
+    }
+    for name in indep {
+        let key = format!("{name}b");
+        b.real_arrays.entry(key).or_insert_with(|| {
+            let len = base.get_real_array(name).expect("independent bound").len();
+            vec![0.0; len]
+        });
+    }
+    b
+}
+
+fn assert_bitwise(ctx: &str, a_name: &str, a: &Bindings, b_name: &str, b: &Bindings) {
+    for (name, v) in &a.real_scalars {
+        let w = b.real_scalars[name];
+        assert_eq!(
+            v.to_bits(),
+            w.to_bits(),
+            "{ctx}: scalar `{name}`: {a_name} {v} vs {b_name} {w}"
+        );
+    }
+    for (name, v) in &a.real_arrays {
+        let w = &b.real_arrays[name];
+        assert_eq!(v.len(), w.len(), "{ctx}: array `{name}` length");
+        for (k, (p, q)) in v.iter().zip(w).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{ctx}: array `{name}`[{k}]: {a_name} {p} vs {b_name} {q}"
+            );
+        }
+    }
+    for (name, v) in &a.int_scalars {
+        assert_eq!(b.int_scalars.get(name), Some(v), "{ctx}: int `{name}`");
+    }
+    for (name, v) in &a.int_arrays {
+        assert_eq!(b.int_arrays.get(name), Some(v), "{ctx}: int arr `{name}`");
+    }
+}
+
+#[test]
+fn all_kernels_all_disciplines_bitwise_aot() {
+    let _guard = AOT_ENV.lock().unwrap_or_else(|p| p.into_inner());
+    for case in cases() {
+        let adj_base = adjoint_bindings(&case.base, case.indep, case.dep);
+        for (label, prog) in versions(&case) {
+            let bind = if label == "primal" {
+                &case.base
+            } else {
+                &adj_base
+            };
+            let lp = lower(&prog, bind).expect("lower");
+            let bc = compile(&lp, &prog).expect("bytecode");
+            let kernel = load_or_compile(&lp, &bc)
+                .unwrap_or_else(|e| panic!("{} / {label}: AOT must build in-tree: {e}", case.name));
+            assert_eq!(kernel.region_count(), bc.regions.len());
+            for threads in [1usize, 4] {
+                let ctx = format!("{} / {label} at T={threads}", case.name);
+                let mut sim = bind.clone();
+                run(&prog, &mut sim, &Machine::with_threads(threads))
+                    .unwrap_or_else(|e| panic!("{ctx}: sim run failed: {e}"));
+                let mut byt = bind.clone();
+                NativeEngine::new(threads)
+                    .run(&bc, &mut byt)
+                    .unwrap_or_else(|e| panic!("{ctx}: bytecode run failed: {e}"));
+                let mut aot = bind.clone();
+                NativeEngine::new(threads)
+                    .run_with(&bc, Some(&kernel), &mut aot)
+                    .unwrap_or_else(|e| panic!("{ctx}: aot run failed: {e}"));
+                assert_bitwise(&ctx, "sim", &sim, "aot", &aot);
+                assert_bitwise(&ctx, "bytecode", &byt, "aot", &aot);
+            }
+        }
+    }
+}
+
+/// Degradation, not errors: with a broken `rustc` and a cold cache the
+/// AOT entry point must fall back to the bytecode backend, succeed, and
+/// produce bitwise-identical results.
+#[test]
+fn forced_compile_failure_falls_back_to_bytecode() {
+    let _guard = AOT_ENV.lock().unwrap_or_else(|p| p.into_inner());
+    // Cold cache + unusable compiler: the extents are baked into the
+    // generated source, so a size no other test binds guarantees the
+    // in-process registry misses, and the fresh cache dir guarantees the
+    // disk lookup misses — the build must actually run, and fail.
+    let st = StencilCase::small(37, 1);
+    let prog = st.ir();
+    let base = st.bindings(13);
+    let dir = std::env::temp_dir().join(format!("formad-aot-failtest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("FORMAD_AOT_DIR", &dir);
+    std::env::set_var("FORMAD_AOT_RUSTC", "/nonexistent/formad-test-rustc");
+    let result = (|| {
+        let mut sim = base.clone();
+        run(&prog, &mut sim, &Machine::with_threads(4))?;
+        let mut aot = base.clone();
+        let fallback = run_aot(&prog, &mut aot, 4)?;
+        Ok::<_, formad_machine::ExecError>((sim, aot, fallback))
+    })();
+    std::env::remove_var("FORMAD_AOT_RUSTC");
+    std::env::remove_var("FORMAD_AOT_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (sim, aot, fallback) = result.expect("fallback run must succeed");
+    let reason = fallback.expect("compile failure must be reported as a fallback reason");
+    assert!(
+        reason.contains("failed to spawn"),
+        "unexpected fallback reason: {reason}"
+    );
+    assert_bitwise("forced-failure fallback", "sim", &sim, "aot", &aot);
+}

@@ -387,7 +387,7 @@ impl Service {
             .map(|t| (t as usize).clamp(1, self.cfg.exec_threads_max))
             .unwrap_or(1);
         let backend = req.get("backend").and_then(Json::as_str).unwrap_or("sim");
-        if !matches!(backend, "sim" | "native") {
+        if !matches!(backend, "sim" | "native" | "aot") {
             return client_error(400, "validate", &format!("unknown backend `{backend}`"));
         }
         let deadline = req
@@ -430,21 +430,26 @@ impl Service {
                 return deadline_response("global deadline expired before execution started");
             }
         }
+        // `aot_fallback` carries the degradation note when an AOT kernel
+        // build fails and the request lands on the bytecode backend.
         let outcome = catch_unwind(AssertUnwindSafe(|| match backend {
-            "native" => self.run_native_shared(&primal, &mut bind, threads),
+            "native" => self
+                .run_native_shared(&primal, &mut bind, threads)
+                .map(|_| None),
+            "aot" => self.run_aot_shared(&primal, &mut bind, threads),
             _ => formad_machine::run(&primal, &mut bind, &Machine::with_threads(threads))
-                .map(|_| ())
+                .map(|_| None)
                 .map_err(|e| e.to_string()),
         }));
         drop(permit);
-        match outcome {
-            Ok(Ok(())) => {}
+        let aot_fallback: Option<String> = match outcome {
+            Ok(Ok(reason)) => reason,
             Ok(Err(e)) => return client_error(400, "exec", &e),
             Err(_) => {
                 self.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
                 return client_error(400, "panic", "execution panicked (isolated)");
             }
-        }
+        };
         if let Some(d) = &deadline {
             if d.expired() {
                 return deadline_response("global deadline expired before execution finished");
@@ -454,17 +459,23 @@ impl Service {
             .into_iter()
             .map(Json::from)
             .collect();
-        Response::json(
-            200,
-            obj(vec![
-                ("ok", true.into()),
-                ("program", primal.name.as_str().into()),
-                ("backend", backend.into()),
-                ("threads", threads.into()),
-                ("outputs", Json::Arr(outputs)),
-            ])
-            .render(),
-        )
+        let mut fields = vec![
+            ("ok", true.into()),
+            ("program", primal.name.as_str().into()),
+            ("backend", backend.into()),
+            ("threads", threads.into()),
+        ];
+        if let Some(reason) = &aot_fallback {
+            // Degradation, not errors: still 200, results identical to
+            // the requested backend, reason spelled out for the client.
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            fields.push(("aot_fallback", true.into()));
+            fields.push(("aot_fallback_reason", reason.as_str().into()));
+        } else if backend == "aot" {
+            fields.push(("aot_fallback", false.into()));
+        }
+        fields.push(("outputs", Json::Arr(outputs)));
+        Response::json(200, obj(fields).render())
     }
 
     /// Run on a persistent [`NativeEngine`] (one per logical thread
@@ -484,12 +495,43 @@ impl Service {
         engine.run(&bc, bind).map_err(|e| e.to_string())
     }
 
+    /// The AOT rung: compile (or fetch from the process registry / disk
+    /// cache) a native kernel for the program's parallel regions and run
+    /// it on the same persistent engines as the bytecode backend. A
+    /// failed build degrades to bytecode — `Ok(Some(reason))` — instead
+    /// of erroring, mirroring `formad exec --backend aot`.
+    fn run_aot_shared(
+        &self,
+        primal: &Program,
+        bind: &mut formad_machine::Bindings,
+        threads: usize,
+    ) -> Result<Option<String>, String> {
+        let lp = lower(primal, bind).map_err(|e| e.to_string())?;
+        let bc = compile(&lp, primal).map_err(|e| e.to_string())?;
+        let kernel = formad_machine::load_or_compile(&lp, &bc);
+        let mut engines = self.native.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = engines
+            .entry(threads)
+            .or_insert_with(|| NativeEngine::new(threads));
+        match kernel {
+            Ok(k) => engine
+                .run_with(&bc, Some(&k), bind)
+                .map(|_| None)
+                .map_err(|e| e.to_string()),
+            Err(e) => engine
+                .run(&bc, bind)
+                .map(|_| Some(e.to_string()))
+                .map_err(|e| e.to_string()),
+        }
+    }
+
     // ---- status ----
 
     fn status_json(&self) -> Json {
         let (running, queued) = self.admission.occupancy();
         let stats = self.stats.lock().map(|s| *s).unwrap_or_default();
         let cache = self.engine.cache();
+        let aot = formad_machine::aot::stats();
         obj(vec![
             ("service", "formad-serve".into()),
             (
@@ -564,6 +606,17 @@ impl Service {
                     ("hits", cache.map(|c| c.hits()).unwrap_or(0).into()),
                     ("misses", cache.map(|c| c.misses()).unwrap_or(0).into()),
                     ("inserts", cache.map(|c| c.inserts()).unwrap_or(0).into()),
+                ]),
+            ),
+            // Exec-side analogue of the proof cache: the process-wide AOT
+            // kernel registry backing `exec` requests with `backend: aot`.
+            (
+                "aot",
+                obj(vec![
+                    ("compiles", aot.compiles.into()),
+                    ("disk_hits", aot.disk_hits.into()),
+                    ("cache_hits", aot.cache_hits.into()),
+                    ("failures", aot.failures.into()),
                 ]),
             ),
             ("solver", stats_json(&stats)),

@@ -318,3 +318,95 @@ fn soak_saturated_all_panic_storm_then_clean_request_from_warm_cache() {
     let cache = svc.engine().cache().expect("service cache");
     assert!(!cache.is_empty(), "shared cache is empty after warmup");
 }
+
+// ---- exec backends over the wire ----
+
+/// `exec` requests served on all three backends return identical
+/// outputs; with a warm (in-tree) toolchain the AOT backend serves
+/// without falling back, and with a broken one it degrades to bytecode —
+/// still HTTP 200, still identical — with the reason in the response.
+/// One test fn: the broken-toolchain phase mutates process-global env.
+#[test]
+fn exec_aot_over_the_wire_matches_sim_and_degrades_on_compile_failure() {
+    let source = "subroutine axpy(n, a, x, y)\n  integer, intent(in) :: n\n  \
+                  real, intent(in) :: a\n  real, intent(in) :: x(n)\n  \
+                  real, intent(inout) :: y(n)\n  integer :: i\n  \
+                  !$omp parallel do shared(x, y)\n  do i = 1, n\n    \
+                  y(i) = y(i) + a * x(i)\n  end do\nend subroutine\n";
+    let handle = start(ServiceConfig::default());
+    let addr = handle.addr();
+    let body = |backend: &str, n: u32| {
+        format!(
+            r#"{{"program":{},"backend":"{backend}","threads":2,"sets":{{"n":{n},"a":0.5}}}}"#,
+            Json::Str(source.to_string()).render()
+        )
+    };
+
+    let exec = |backend: &str, n: u32| {
+        let (status, json) = post(addr, "/v1/exec", &body(backend, n));
+        assert_eq!(status, 200, "{backend}: {json}");
+        assert_eq!(
+            json.get("backend").and_then(Json::as_str),
+            Some(backend),
+            "{json}"
+        );
+        json
+    };
+    let sim = exec("sim", 48);
+    let native = exec("native", 48);
+    let aot = exec("aot", 48);
+    let outputs = |j: &Json| j.get("outputs").unwrap().render();
+    assert_eq!(outputs(&sim), outputs(&native));
+    assert_eq!(outputs(&sim), outputs(&aot));
+    assert_eq!(aot.get("aot_fallback").and_then(Json::as_bool), Some(false));
+
+    // Status exports the kernel-registry counters next to the proof
+    // cache's: the request above either built fresh or hit a cache.
+    let (status, json) = post_get(addr, "/v1/status");
+    assert_eq!(status, 200);
+    let aot_stats = json.get("aot").expect("aot stats block");
+    let total = ["compiles", "disk_hits", "cache_hits"]
+        .iter()
+        .filter_map(|k| aot_stats.get(k).and_then(Json::as_u64))
+        .sum::<u64>();
+    assert!(total >= 1, "no aot activity recorded: {json}");
+
+    // Broken toolchain + unseen extent (cold registry and disk cache):
+    // the build must actually run, fail, and degrade to bytecode.
+    std::env::set_var("FORMAD_AOT_RUSTC", "/nonexistent/formad-test-rustc");
+    let dir = std::env::temp_dir().join(format!("formad-serve-aotfail-{}", std::process::id()));
+    std::env::set_var("FORMAD_AOT_DIR", &dir);
+    let degraded = exec("aot", 49);
+    let plain = exec("sim", 49);
+    std::env::remove_var("FORMAD_AOT_RUSTC");
+    std::env::remove_var("FORMAD_AOT_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        degraded.get("aot_fallback").and_then(Json::as_bool),
+        Some(true),
+        "{degraded}"
+    );
+    let reason = degraded
+        .get("aot_fallback_reason")
+        .and_then(Json::as_str)
+        .expect("fallback reason");
+    assert!(reason.contains("failed to spawn"), "{reason}");
+    assert_eq!(outputs(&degraded), outputs(&plain));
+}
+
+/// GET for the status endpoint (the shared `post` helper always POSTs).
+fn post_get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {text}"));
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json = Json::parse(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
+    (status, json)
+}
