@@ -679,6 +679,15 @@ impl<'a> Xform<'a> {
                 }
             }
         }
+        // Scalars that are only ever written — e.g. an inner sequential
+        // loop counter whose body never reads it — appear in no
+        // expression, so the `referenced` pass above misses them. They
+        // still race without a clause: privatize them.
+        for name in &assigned_scalars {
+            if name != counter && !referenced.contains(name) && !is_array(name) {
+                info.private.push(name.clone());
+            }
+        }
         info.shared.sort();
         info.private.sort();
         info.reductions.sort_by(|a, b| a.1.cmp(&b.1));
@@ -1051,6 +1060,46 @@ end subroutine
         assert!(
             adj_pragmas.iter().any(|l| l.contains("dvfaceb")),
             "{adj_pragmas:?}"
+        );
+    }
+
+    #[test]
+    fn write_only_inner_counter_privatized_in_adjoint() {
+        // Found by the differential fuzzer: `j` is assigned by the inner
+        // `do` header but never read, so the reference scan misses it and
+        // the adjoint region used to emit no clause for it at all — the
+        // bytecode compiler then rejects the adjoint.
+        let src = r#"
+subroutine rep(n, x, y)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i, j
+  !$omp parallel do shared(x, y) private(j)
+  do i = 1, n
+    do j = 1, 3
+      y(i) = y(i) + x(i)
+    end do
+  end do
+end subroutine
+"#;
+        let adj = diff(
+            src,
+            &["x"],
+            &["y"],
+            ParallelTreatment::Uniform(IncMode::Plain),
+        );
+        let region = adj
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::For(l) if l.parallel.is_some() => l.parallel.as_ref(),
+                _ => None,
+            })
+            .expect("adjoint keeps the parallel region");
+        assert!(
+            region.private.contains(&"j".to_string()),
+            "inner counter must be private: {region:?}"
         );
     }
 }

@@ -1,0 +1,139 @@
+//! Invariants of the committed `BENCH_kernels.json` artifact.
+//!
+//! The benchmark harness regenerates this file; these tests pin the
+//! contract every consumer (README tables, the AOT wall, CI trend
+//! scripts) relies on: the bitwise gates are green and the `summary`
+//! block is complete and internally consistent with the raw cells.
+
+use formad_serve::Json;
+
+fn artifact() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_kernels.json is committed");
+    Json::parse(&text).expect("BENCH_kernels.json parses")
+}
+
+fn get<'j>(j: &'j Json, key: &str) -> &'j Json {
+    j.get(key).unwrap_or_else(|| panic!("missing `{key}`"))
+}
+
+fn str_of(j: &Json, key: &str) -> String {
+    get(j, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("`{key}` not a string"))
+        .to_string()
+}
+
+fn num_of(j: &Json, key: &str) -> f64 {
+    match get(j, key) {
+        Json::Num(v) => *v,
+        other => panic!("`{key}` not a number: {other}"),
+    }
+}
+
+fn items(j: &Json) -> &[Json] {
+    match j {
+        Json::Arr(v) => v,
+        other => panic!("expected array, got {other}"),
+    }
+}
+
+#[test]
+fn bitwise_gates_are_green() {
+    let j = artifact();
+    assert_eq!(get(&j, "all_bitwise").as_bool(), Some(true));
+    assert_eq!(get(&j, "orderings_agree").as_bool(), Some(true));
+    // Every kernel row repeats the per-kernel halves of the gate.
+    for k in items(get(&j, "kernels")) {
+        let name = str_of(k, "name");
+        assert_eq!(
+            get(k, "all_safe").as_bool(),
+            Some(true),
+            "kernel `{name}` not race-free"
+        );
+        assert_eq!(
+            get(k, "native_matches_sim").as_bool(),
+            Some(true),
+            "kernel `{name}` native/sim mismatch"
+        );
+    }
+}
+
+#[test]
+fn summary_block_is_complete_and_consistent() {
+    let j = artifact();
+    let summary = get(&j, "summary");
+    let threads: Vec<f64> = items(get(&j, "threads"))
+        .iter()
+        .map(|t| match t {
+            Json::Num(v) => *v,
+            other => panic!("thread entry {other}"),
+        })
+        .collect();
+    let backends: Vec<String> = items(get(&j, "backends"))
+        .iter()
+        .map(|b| b.as_str().expect("backend name").to_string())
+        .collect();
+    assert!(
+        threads.contains(&num_of(summary, "check_threads")),
+        "check_threads must be one of the measured thread counts"
+    );
+
+    // One summary row per raw kernel row, same names, same order.
+    let raw_names: Vec<String> = items(get(&j, "kernels"))
+        .iter()
+        .map(|k| str_of(k, "name"))
+        .collect();
+    let sum_kernels = items(get(summary, "kernels"));
+    let sum_names: Vec<String> = sum_kernels.iter().map(|k| str_of(k, "name")).collect();
+    assert_eq!(sum_names, raw_names, "summary must cover every kernel");
+
+    for k in sum_kernels {
+        let name = str_of(k, "name");
+        // `fastest` is the global winner, so it can only be at least as
+        // fast as the winner among adjoints; both cells must point at a
+        // measured (backend, threads) cell with a positive time.
+        let fastest = get(k, "fastest");
+        let adj = get(k, "fastest_adjoint");
+        for (label, cell) in [("fastest", fastest), ("fastest_adjoint", adj)] {
+            assert!(
+                backends.contains(&str_of(cell, "backend")),
+                "`{name}` {label}: unknown backend"
+            );
+            assert!(
+                threads.contains(&num_of(cell, "threads")),
+                "`{name}` {label}: unknown thread count"
+            );
+            assert!(
+                num_of(cell, "best_s") > 0.0,
+                "`{name}` {label}: non-positive time"
+            );
+        }
+        assert!(
+            str_of(adj, "version").starts_with("adj-"),
+            "`{name}`: fastest_adjoint must be an adjoint version"
+        );
+        assert!(
+            num_of(fastest, "best_s") <= num_of(adj, "best_s"),
+            "`{name}`: global fastest slower than fastest adjoint"
+        );
+        // Dispatch-removal factors exist for all four versions and are
+        // positive finite ratios.
+        let aob = get(k, "aot_over_bytecode");
+        for version in ["primal", "adj-FormAD", "adj-atomic", "adj-reduction"] {
+            let r = num_of(aob, version);
+            assert!(
+                r.is_finite() && r > 0.0,
+                "`{name}`: aot_over_bytecode[{version}] = {r}"
+            );
+        }
+        let foa = get(k, "formad_over_atomic");
+        for b in &backends {
+            let r = num_of(foa, b);
+            assert!(
+                r.is_finite() && r > 0.0,
+                "`{name}`: formad_over_atomic[{b}] = {r}"
+            );
+        }
+    }
+}

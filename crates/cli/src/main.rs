@@ -21,6 +21,34 @@
 //!                                                differentiation service
 //!                                                until SIGINT or a client
 //!                                                POSTs /v1/shutdown
+//! formad fuzz     [fuzz options]                 grammar-driven differential
+//!                                                fuzzing: generate well-typed
+//!                                                programs and cross-check
+//!                                                every oracle pair in the
+//!                                                stack (exit 1 on divergence)
+//!
+//! fuzz options:
+//!   --seed N           master seed (default 42); each case derives its
+//!                      RNG from (seed, case id), so runs with the same
+//!                      seed and flags are byte-identical on stdout
+//!   --cases N          number of generated programs (default 100)
+//!   --max-loops N      max parallel regions per program (default 3)
+//!   --max-arrays N     max input arrays per program (default 4)
+//!   --corpus DIR       write a minimized, self-contained reproducer
+//!                      file per divergence into DIR
+//!   --shrink-budget N  max oracle evaluations the delta-debugging
+//!                      shrinker spends per divergence (default 256,
+//!                      0 disables shrinking)
+//!   --aot-every N      also build + run the AOT kernel on every N-th
+//!                      case (one `rustc` invocation per program
+//!                      version; default: every 16th, --smoke: never)
+//!   --chaos-legacy P   poison the legacy-core oracle with P‰ Unknown
+//!                      answers — a self-test that the harness catches,
+//!                      shrinks and reports an injected oracle bug
+//!   --smoke            CI profile: skip AOT checks so the run stays in
+//!                      tens of seconds
+//!   --repro FILE       replay one reproducer file instead of running a
+//!                      campaign (exit 1 if it still diverges)
 //!
 //! serve options:
 //!   --addr HOST:PORT   bind address (default 127.0.0.1:7878; use :0 for
@@ -157,7 +185,10 @@ fn usage() -> ExitCode {
          formad exec FILE [--backend sim|native|aot] [--threads N] \
          [--set k=v,...] [--seed S] [--deadline-ms N]\n       \
          formad compile FILE [--set k=v,...] [--seed S]\n       \
-         formad serve [--addr HOST:PORT] [--workers N] [--queue N]"
+         formad serve [--addr HOST:PORT] [--workers N] [--queue N]\n       \
+         formad fuzz [--seed N] [--cases N] [--max-loops N] [--max-arrays N] \
+         [--corpus DIR] [--shrink-budget N] [--aot-every N] [--chaos-legacy P] \
+         [--smoke] [--repro FILE]"
     );
     ExitCode::from(2)
 }
@@ -383,12 +414,14 @@ fn render(p: &formad_ir::Program, emit: &str) -> String {
 }
 
 fn main() -> ExitCode {
-    // `serve` takes no FILE argument, so it branches before the normal
-    // parser (which requires one).
+    // `serve` and `fuzz` take no FILE argument, so they branch before
+    // the normal parser (which requires one).
     {
         let mut argv = std::env::args().skip(1);
-        if argv.next().as_deref() == Some("serve") {
-            return serve_cmd(&argv.collect::<Vec<String>>());
+        match argv.next().as_deref() {
+            Some("serve") => return serve_cmd(&argv.collect::<Vec<String>>()),
+            Some("fuzz") => return fuzz_cmd(&argv.collect::<Vec<String>>()),
+            _ => {}
         }
     }
     let args = match parse_args() {
@@ -500,6 +533,129 @@ fn serve_cmd(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `formad fuzz`: generate well-typed programs and cross-check every
+/// oracle pair in the stack. Per-case lines go to stdout and are
+/// byte-identical across runs with the same seed and flags (that is the
+/// CI fuzz-smoke contract); the timing line goes to stderr. Exit 0 when
+/// every case agrees, 1 when any oracle pair diverged, 2 on usage.
+fn fuzz_cmd(rest: &[String]) -> ExitCode {
+    use formad_fuzz::{run_fuzz, ChaosConfig, EngineCache, FuzzConfig, Reproducer};
+
+    let mut cfg = FuzzConfig::default();
+    let mut repro_path: Option<String> = None;
+    let mut smoke = false;
+    let mut aot_every_given = false;
+    let mut k = 0;
+    while k < rest.len() {
+        let value = |k: &mut usize| -> Option<String> {
+            *k += 1;
+            rest.get(*k).cloned()
+        };
+        match rest[k].as_str() {
+            "--seed" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => return usage(),
+            },
+            "--cases" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.cases = n,
+                None => return usage(),
+            },
+            "--max-loops" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.gen.max_loops = n,
+                _ => return usage(),
+            },
+            "--max-arrays" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.gen.max_arrays = n,
+                _ => return usage(),
+            },
+            "--corpus" => match value(&mut k) {
+                Some(d) => cfg.corpus = Some(std::path::PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--shrink-budget" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.shrink_budget = n,
+                None => return usage(),
+            },
+            "--aot-every" => match value(&mut k).and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    cfg.aot_every = n;
+                    aot_every_given = true;
+                }
+                None => return usage(),
+            },
+            "--chaos-legacy" => match value(&mut k).and_then(|v| v.parse::<u16>().ok()) {
+                Some(per_mille) if per_mille <= 1000 => {
+                    cfg.oracle.poison_legacy = Some(ChaosConfig {
+                        seed: cfg.seed,
+                        panic_per_mille: 0,
+                        unknown_per_mille: per_mille,
+                        delay_per_mille: 0,
+                        delay: Duration::ZERO,
+                    });
+                }
+                _ => return usage(),
+            },
+            "--smoke" => smoke = true,
+            "--repro" => match value(&mut k) {
+                Some(p) => repro_path = Some(p),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown fuzz option `{other}`");
+                return usage();
+            }
+        }
+        k += 1;
+    }
+    if let Some(path) = repro_path {
+        let repro = match Reproducer::load(std::path::Path::new(&path)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("formad fuzz --repro {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut engines = EngineCache::new();
+        return match repro.run(&mut engines) {
+            Err(d) => {
+                println!("reproduces: {d}");
+                ExitCode::from(1)
+            }
+            Ok(_) => {
+                println!("no divergence: the reproducer runs clean");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+    if smoke {
+        cfg.aot_every = 0;
+        cfg.oracle.check_aot = false;
+    } else if !aot_every_given {
+        cfg.aot_every = 16;
+    }
+    let t0 = std::time::Instant::now();
+    let out = match run_fuzz(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("formad fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for line in &out.lines {
+        println!("{line}");
+    }
+    eprintln!(
+        "formad: fuzz {} cases in {:.3}s",
+        cfg.cases,
+        t0.elapsed().as_secs_f64()
+    );
+    if out.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// Bind `--set`/`--seed` parameters for `exec`/`compile`, mapping bind
 /// failures onto the shared exit-code ladder.
 fn bind_for_exec(
@@ -602,6 +758,16 @@ fn compile_cmd(args: &Args, primal: &formad_ir::Program) -> ExitCode {
             return code_for(FormadErrorKind::Validate);
         }
     };
+    // Only parallel regions get AOT kernels; a purely sequential program
+    // has nothing to build and shouldn't cost a rustc invocation.
+    if bc.regions.is_empty() {
+        println!("regions: 0");
+        println!(
+            "nothing to compile: `{}` has no parallel regions",
+            primal.name
+        );
+        return ExitCode::SUCCESS;
+    }
     let t0 = std::time::Instant::now();
     let kernel = match load_or_compile(&lp, &bc) {
         Ok(k) => k,

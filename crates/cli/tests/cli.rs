@@ -859,3 +859,128 @@ fn serve_starts_answers_and_shuts_down_over_the_wire() {
         out.status
     );
 }
+
+// ---- zero-parallel-region AOT path ----
+
+const SEQ_F: &str = r#"
+subroutine seq(n, x, y)
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+  do i = 1, n
+    y(i) = y(i) + 2.0 * x(i)
+  end do
+end subroutine
+"#;
+
+/// Run the binary with `FORMAD_AOT_DIR` pointed at a fresh directory so
+/// the test can assert no kernel artifacts were produced.
+fn formad_with_aot_dir(args: &[&str], dir: &std::path::Path) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_formad"))
+        .args(args)
+        .env("FORMAD_AOT_DIR", dir)
+        .output()
+        .expect("run formad");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn exec_aot_without_parallel_regions_is_clean() {
+    let f = write_temp("seq_aot.f90", SEQ_F);
+    let dir = std::env::temp_dir().join(format!("formad-aot-none-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (out, err, ok) = formad_with_aot_dir(
+        &[
+            "exec",
+            f.to_str().unwrap(),
+            "--backend",
+            "aot",
+            "--set",
+            "n=6",
+        ],
+        &dir,
+    );
+    assert!(ok, "{err}");
+    assert!(
+        !err.contains("fell back"),
+        "no fallback note for a program with nothing to compile: {err}"
+    );
+    // The rustc pipeline never ran: no kernel source/cdylib artifacts.
+    let artifacts = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(artifacts, 0, "no AOT artifacts for a region-free program");
+    // Bitwise-identical to the sim backend, as for every exec path.
+    let (sim, _, sim_ok) = formad(&["exec", f.to_str().unwrap(), "--set", "n=6"]);
+    assert!(sim_ok);
+    assert_eq!(out, sim);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compile_without_parallel_regions_is_clean() {
+    let f = write_temp("seq_compile.f90", SEQ_F);
+    let dir = std::env::temp_dir().join(format!("formad-aot-none-c-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (out, err, ok) =
+        formad_with_aot_dir(&["compile", f.to_str().unwrap(), "--set", "n=6"], &dir);
+    assert!(ok, "{err}");
+    assert!(out.contains("regions: 0"), "{out}");
+    assert!(out.contains("nothing to compile"), "{out}");
+    let artifacts = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(artifacts, 0, "no AOT artifacts for a region-free program");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- formad fuzz ----
+
+#[test]
+fn fuzz_smoke_is_deterministic_and_clean() {
+    let args = ["fuzz", "--seed", "42", "--cases", "8", "--smoke"];
+    let (a, a_err, ok) = formad(&args);
+    assert!(ok, "{a}\n{a_err}");
+    assert!(a.contains("fuzz: 8 cases, 0 divergences"), "{a}");
+    let (b, _, ok2) = formad(&args);
+    assert!(ok2);
+    assert_eq!(a, b, "same seed and flags must be byte-identical on stdout");
+}
+
+#[test]
+fn fuzz_chaos_legacy_diverges_and_reproducers_replay() {
+    let corpus = std::env::temp_dir().join(format!("formad-fuzz-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&corpus);
+    let (out, err, ok) = formad(&[
+        "fuzz",
+        "--seed",
+        "42",
+        "--cases",
+        "2",
+        "--smoke",
+        "--chaos-legacy",
+        "1000",
+        "--corpus",
+        corpus.to_str().unwrap(),
+    ]);
+    assert!(!ok, "poisoned oracle must exit nonzero:\n{out}\n{err}");
+    assert!(out.contains("DIVERGENCE [cross-core]"), "{out}");
+    let file = std::fs::read_dir(&corpus)
+        .expect("corpus written")
+        .next()
+        .expect("one reproducer")
+        .unwrap()
+        .path();
+    let (rout, _, rok) = formad(&["fuzz", "--repro", file.to_str().unwrap()]);
+    assert!(!rok, "replayed reproducer still diverges");
+    assert!(rout.contains("reproduces: [cross-core]"), "{rout}");
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn fuzz_rejects_unknown_options() {
+    let (_, err, ok) = formad(&["fuzz", "--bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown fuzz option"), "{err}");
+}

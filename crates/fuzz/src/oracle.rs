@@ -1,0 +1,610 @@
+//! The differential harness: run one generated case through the full
+//! pipeline and cross-check every independent oracle pair.
+//!
+//! Checks, in order (the first failure wins — later checks often depend
+//! on earlier artifacts):
+//!
+//! 1. `Pipeline` — `validate`, driver binding, and the reference
+//!    `differentiate` call must succeed. A generated program is
+//!    well-typed by construction, so any rejection is a bug in the
+//!    generator or the pipeline.
+//! 2. `RoundTrip` — printing the program and re-parsing the print must
+//!    be a fixpoint (`print ∘ parse ∘ print = print`).
+//! 3. `Trace` — every collected proof trace must pass
+//!    [`formad::validate_trace`].
+//! 4. `JobsCache` — the analysis report (wall-clock stripped) and the
+//!    deterministic trace JSON must be byte-identical with `jobs > 1`
+//!    and with the proof cache disabled.
+//! 5. `CrossCore` — the legacy search core must produce the same report
+//!    as CDCL. An injected [`ChaosConfig`] poisons only this run, which
+//!    is how the acceptance test proves the fuzzer catches an oracle
+//!    bug.
+//! 6. `Brute` — concrete adjoint footprints must not contradict a
+//!    `Shared` verdict (see [`crate::footprint`]).
+//! 7. `ExecBitwise` — primal and all three adjoint disciplines must be
+//!    bitwise identical across {sim, bytecode, aot} at every thread
+//!    count; reduction-free primals additionally across thread counts
+//!    (guarded adjoints reassociate with the schedule, so cross-count
+//!    identity is not an invariant for them).
+//! 8. `Fd` — the FormAD adjoint must pass the dot-product test against
+//!    central finite differences.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use formad::{
+    deterministic_json, full_report, trace_json, validate_trace, Decision, Formad, FormadAnalysis,
+    FormadOptions, IncMode, ParallelTreatment, SearchCore, TraceSink,
+};
+use formad_ir::{parse_program, program_to_string, validate, Program};
+use formad_machine::{
+    compile, dot_product_test, fill_real, load_or_compile, lower, run, Bindings, Machine,
+    NativeEngine,
+};
+use formad_smt::ChaosConfig;
+
+use crate::footprint::check_footprints;
+use crate::grammar::FuzzCase;
+
+/// Which oracle pair a divergence was found by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleId {
+    /// validate / bind / differentiate rejected a generated program.
+    Pipeline,
+    /// Printer/parser fixpoint violated.
+    RoundTrip,
+    /// A proof trace failed `validate_trace`.
+    Trace,
+    /// Report or deterministic trace changed under jobs / cache.
+    JobsCache,
+    /// Legacy and CDCL search cores disagree.
+    CrossCore,
+    /// A `Shared` verdict contradicts the concrete adjoint footprint.
+    Brute,
+    /// Backends or thread counts disagree bitwise.
+    ExecBitwise,
+    /// Adjoint-vs-finite-difference dot test failed.
+    Fd,
+}
+
+impl OracleId {
+    /// Stable spelling used in reproducer files and fuzz output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleId::Pipeline => "pipeline",
+            OracleId::RoundTrip => "round-trip",
+            OracleId::Trace => "trace",
+            OracleId::JobsCache => "jobs-cache",
+            OracleId::CrossCore => "cross-core",
+            OracleId::Brute => "brute",
+            OracleId::ExecBitwise => "exec-bitwise",
+            OracleId::Fd => "fd",
+        }
+    }
+
+    /// Inverse of [`OracleId::name`].
+    pub fn parse(s: &str) -> Option<OracleId> {
+        Some(match s {
+            "pipeline" => OracleId::Pipeline,
+            "round-trip" => OracleId::RoundTrip,
+            "trace" => OracleId::Trace,
+            "jobs-cache" => OracleId::JobsCache,
+            "cross-core" => OracleId::CrossCore,
+            "brute" => OracleId::Brute,
+            "exec-bitwise" => OracleId::ExecBitwise,
+            "fd" => OracleId::Fd,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OracleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A cross-check failure: which oracle pair disagreed and how.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    pub oracle: OracleId,
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(oracle: OracleId, detail: impl Into<String>) -> Divergence {
+        Divergence {
+            oracle,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Oracle tunables (`formad fuzz` maps its flags onto this).
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Thread counts for the execution cross-check; the first entry is
+    /// the reference schedule.
+    pub threads: Vec<usize>,
+    /// Extra worker count for the jobs-invariance check.
+    pub jobs: usize,
+    /// Also build and run the AOT kernel (one `rustc` invocation per
+    /// program — expensive; the harness samples it).
+    pub check_aot: bool,
+    /// Central-difference step for the dot-product test.
+    pub fd_h: f64,
+    /// Relative-error tolerance for the dot-product test.
+    pub fd_tol: f64,
+    /// Fault injection applied to the *legacy* analysis run only. Used
+    /// by tests to prove a poisoned oracle is caught.
+    pub poison_legacy: Option<ChaosConfig>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            threads: vec![1, 3],
+            jobs: 2,
+            check_aot: false,
+            fd_h: 1e-6,
+            fd_tol: 1e-4,
+            poison_legacy: None,
+        }
+    }
+}
+
+/// Per-case result summary (feeds the deterministic fuzz output line).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseSummary {
+    pub regions: usize,
+    pub shared: usize,
+    pub guarded: usize,
+    pub aot_checked: bool,
+}
+
+/// `NativeEngine` spawns its worker threads at construction, so the
+/// harness shares one engine per thread count across all cases.
+#[derive(Default)]
+pub struct EngineCache {
+    engines: HashMap<usize, NativeEngine>,
+}
+
+impl EngineCache {
+    pub fn new() -> EngineCache {
+        EngineCache::default()
+    }
+
+    fn get(&mut self, threads: usize) -> &mut NativeEngine {
+        self.engines
+            .entry(threads)
+            .or_insert_with(|| NativeEngine::new(threads))
+    }
+}
+
+/// Drop the only wall-clock-dependent token (the region time that ends
+/// `… N queries, 0.123s` header lines) so reports compare bytewise.
+pub fn strip_times(report: &str) -> String {
+    report
+        .lines()
+        .map(|l| match l.split_once(" queries, ") {
+            Some((head, _)) => format!("{head} queries"),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// First line where `a` and `b` differ, for divergence details.
+fn first_diff(what: &str, a: &str, b: &str) -> String {
+    for (k, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("{what} differs at line {}: `{la}` vs `{lb}`", k + 1);
+        }
+    }
+    format!(
+        "{what} differs in length: {} vs {} lines",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn options(case: &FuzzCase) -> FormadOptions {
+    let wrt: Vec<&str> = case.wrt.iter().map(String::as_str).collect();
+    let of: Vec<&str> = case.of.iter().map(String::as_str).collect();
+    FormadOptions::new(&wrt, &of)
+}
+
+/// Bitwise comparison of two executed binding sets; `None` = identical.
+fn bitwise_diff(a: &Bindings, b: &Bindings) -> Option<String> {
+    for (name, v) in &a.real_scalars {
+        let w = b.real_scalars.get(name)?;
+        if v.to_bits() != w.to_bits() {
+            return Some(format!("scalar `{name}`: {v} vs {w}"));
+        }
+    }
+    for (name, v) in &a.real_arrays {
+        let w = b.real_arrays.get(name)?;
+        if v.len() != w.len() {
+            return Some(format!("array `{name}` length {} vs {}", v.len(), w.len()));
+        }
+        for (k, (p, q)) in v.iter().zip(w).enumerate() {
+            if p.to_bits() != q.to_bits() {
+                return Some(format!("array `{name}`[{k}]: {p} vs {q}"));
+            }
+        }
+    }
+    for (name, v) in &a.int_scalars {
+        if b.int_scalars.get(name) != Some(v) {
+            return Some(format!("int `{name}`"));
+        }
+    }
+    for (name, v) in &a.int_arrays {
+        if b.int_arrays.get(name) != Some(v) {
+            return Some(format!("int array `{name}`"));
+        }
+    }
+    None
+}
+
+/// Seed adjoint bindings the way `fd::dot_product_test` and the AOT
+/// differential wall do: dependents' bars at 1.0, independents' bars
+/// zeroed, any remaining active bar array zeroed to its primal length.
+fn adjoint_bindings(adjoint: &Program, base: &Bindings, case: &FuzzCase) -> Bindings {
+    let mut b = base.clone();
+    for name in &case.of {
+        if let Some(arr) = base.get_real_array(name) {
+            b.real_arrays
+                .insert(format!("{name}b"), vec![1.0; arr.len()]);
+        }
+    }
+    for name in &case.wrt {
+        if let Some(arr) = base.get_real_array(name) {
+            b.real_arrays
+                .entry(format!("{name}b"))
+                .or_insert_with(|| vec![0.0; arr.len()]);
+        }
+    }
+    for d in &adjoint.params {
+        if d.ty != formad_ir::Ty::Real {
+            continue;
+        }
+        if d.dims.is_empty() {
+            if !b.real_scalars.contains_key(&d.name) {
+                b.real_scalars.insert(d.name.clone(), 0.0);
+            }
+        } else if !b.real_arrays.contains_key(&d.name) {
+            if let Some(stem) = d.name.strip_suffix('b') {
+                if let Some(arr) = base.get_real_array(stem) {
+                    b.real_arrays.insert(d.name.clone(), vec![0.0; arr.len()]);
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Analysis outcome of one knob setting: the analysis itself, the
+/// stripped report, and (when requested) the deterministic trace
+/// events plus their rendered JSON.
+type AnalyzedVariant = (
+    FormadAnalysis,
+    String,
+    Option<(Vec<formad::TraceEvent>, String)>,
+);
+
+/// One analysis run with the given knobs; returns the stripped report
+/// and (optionally) the deterministic trace JSON.
+fn analyze_variant(
+    case: &FuzzCase,
+    jobs: usize,
+    cache: bool,
+    core: SearchCore,
+    chaos: Option<ChaosConfig>,
+    want_trace: bool,
+) -> Result<AnalyzedVariant, String> {
+    let mut opts = options(case);
+    opts.region.jobs = jobs;
+    opts.region.search_core = core;
+    if !cache {
+        opts.region.cache = None;
+    }
+    opts.region.chaos = chaos;
+    let sink = want_trace.then(TraceSink::new);
+    opts.region.trace = sink.clone();
+    let tool = Formad::new(opts);
+    let analysis = tool.analyze(&case.program).map_err(|e| e.to_string())?;
+    let report = strip_times(&full_report(&case.program.name, &analysis));
+    let trace = sink.map(|s| {
+        let events = s.snapshot();
+        let det = deterministic_json(&events);
+        (events, det)
+    });
+    Ok((analysis, report, trace))
+}
+
+/// Run every oracle over one case. `Err` is the first divergence found.
+pub fn run_case(
+    case: &FuzzCase,
+    cfg: &OracleConfig,
+    engines: &mut EngineCache,
+) -> Result<CaseSummary, Divergence> {
+    let prog = &case.program;
+
+    // 1. The program must be well-typed.
+    let errs = validate(prog);
+    if !errs.is_empty() {
+        return Err(Divergence::new(
+            OracleId::Pipeline,
+            format!("validate rejected the program: {}", errs[0]),
+        ));
+    }
+
+    // 2. Printer/parser fixpoint.
+    let src = program_to_string(prog);
+    let reparsed = parse_program(&src)
+        .map_err(|e| Divergence::new(OracleId::RoundTrip, format!("re-parse failed: {e}")))?;
+    let src2 = program_to_string(&reparsed);
+    if src2 != src {
+        return Err(Divergence::new(
+            OracleId::RoundTrip,
+            first_diff("printed source", &src, &src2),
+        ));
+    }
+
+    // 3. Driver bindings.
+    let base = case
+        .bindings()
+        .map_err(|e| Divergence::new(OracleId::Pipeline, format!("bind failed: {e}")))?;
+
+    // 4. Reference analysis (CDCL, jobs=1, cache on, traced). The
+    //    adjoint comes from a separate untraced pipeline run so the
+    //    reference trace covers exactly what the variant runs record.
+    let mut opts = options(case);
+    opts.region.jobs = 1;
+    let sink = TraceSink::new();
+    opts.region.trace = Some(sink.clone());
+    let analysis = Formad::new(opts)
+        .analyze(prog)
+        .map_err(|e| Divergence::new(OracleId::Pipeline, format!("analyze failed: {e}")))?;
+    let ref_events = sink.snapshot();
+    validate_trace(&trace_json(&ref_events))
+        .map_err(|e| Divergence::new(OracleId::Trace, format!("reference trace invalid: {e}")))?;
+    let ref_det = deterministic_json(&ref_events);
+    let ref_report = strip_times(&full_report(&prog.name, &analysis));
+    let tool = Formad::new(options(case));
+    let diff = tool
+        .differentiate(prog)
+        .map_err(|e| Divergence::new(OracleId::Pipeline, format!("differentiate failed: {e}")))?;
+
+    let mut summary = CaseSummary {
+        regions: analysis.regions.len(),
+        ..CaseSummary::default()
+    };
+    for r in &analysis.regions {
+        for d in r.decisions.values() {
+            match d {
+                Decision::Shared => summary.shared += 1,
+                Decision::Guarded(_) => summary.guarded += 1,
+            }
+        }
+    }
+
+    // 5. Jobs- and cache-invariance (report and deterministic trace).
+    for (label, jobs, cache) in [("jobs", cfg.jobs.max(2), true), ("no-cache", 1, false)] {
+        let (_, report, trace) = analyze_variant(case, jobs, cache, SearchCore::Cdcl, None, true)
+            .map_err(|e| {
+            Divergence::new(OracleId::JobsCache, format!("{label} analysis failed: {e}"))
+        })?;
+        if report != ref_report {
+            return Err(Divergence::new(
+                OracleId::JobsCache,
+                first_diff(&format!("report ({label})"), &ref_report, &report),
+            ));
+        }
+        let (events, det) = trace.expect("trace requested");
+        validate_trace(&trace_json(&events))
+            .map_err(|e| Divergence::new(OracleId::Trace, format!("{label} trace invalid: {e}")))?;
+        if det != ref_det {
+            return Err(Divergence::new(
+                OracleId::JobsCache,
+                first_diff(&format!("deterministic trace ({label})"), &ref_det, &det),
+            ));
+        }
+    }
+
+    // 6. Cross-core: legacy must agree with CDCL (possibly poisoned).
+    match analyze_variant(
+        case,
+        1,
+        true,
+        SearchCore::Legacy,
+        cfg.poison_legacy.clone(),
+        false,
+    ) {
+        Ok((_, report, _)) => {
+            if report != ref_report {
+                return Err(Divergence::new(
+                    OracleId::CrossCore,
+                    first_diff("report (legacy vs cdcl)", &ref_report, &report),
+                ));
+            }
+        }
+        Err(e) => {
+            return Err(Divergence::new(
+                OracleId::CrossCore,
+                format!("legacy analysis failed where cdcl succeeded: {e}"),
+            ));
+        }
+    }
+
+    // 7. Concrete footprints must not contradict `Shared`.
+    check_footprints(prog, &base, &analysis).map_err(|e| Divergence::new(OracleId::Brute, e))?;
+
+    // 8. Execution: primal + three adjoint disciplines, bitwise across
+    //    backends and thread counts.
+    let atomic = tool
+        .adjoint_with(prog, ParallelTreatment::Uniform(IncMode::Atomic))
+        .map_err(|e| Divergence::new(OracleId::Pipeline, format!("atomic adjoint: {e}")))?;
+    let reduction = tool
+        .adjoint_with(prog, ParallelTreatment::Uniform(IncMode::Reduction))
+        .map_err(|e| Divergence::new(OracleId::Pipeline, format!("reduction adjoint: {e}")))?;
+    let versions: Vec<(&str, &Program)> = vec![
+        ("primal", prog),
+        ("adj-formad", &diff.adjoint),
+        ("adj-atomic", &atomic),
+        ("adj-reduction", &reduction),
+    ];
+    let ref_threads = *cfg.threads.first().unwrap_or(&1);
+    // Guarded adjoints (atomic/reduction increments) are only bitwise
+    // deterministic at a *fixed* thread count — accumulation order moves
+    // with the schedule. The primal of a race-free generated program is
+    // schedule-independent, unless it carries a scalar reduction (whose
+    // combine tree also depends on the partition). So: backends are
+    // compared at every thread count; thread counts are compared against
+    // each other only for reduction-free primals.
+    let has_reductions = {
+        let mut found = false;
+        for s in &prog.body {
+            s.walk(&mut |st| {
+                if let formad_ir::Stmt::For(l) = st {
+                    if let Some(p) = &l.parallel {
+                        found |= !p.reductions.is_empty();
+                    }
+                }
+            });
+        }
+        found
+    };
+    for (label, vprog) in &versions {
+        let bind = if *label == "primal" {
+            base.clone()
+        } else {
+            adjoint_bindings(vprog, &base, case)
+        };
+        let lp = lower(vprog, &bind).map_err(|e| {
+            Divergence::new(OracleId::Pipeline, format!("{label}: lower failed: {e}"))
+        })?;
+        let bc = compile(&lp, vprog).map_err(|e| {
+            Divergence::new(OracleId::Pipeline, format!("{label}: compile failed: {e}"))
+        })?;
+        let kernel = if cfg.check_aot && !bc.regions.is_empty() {
+            summary.aot_checked = true;
+            Some(load_or_compile(&lp, &bc).map_err(|e| {
+                Divergence::new(
+                    OracleId::ExecBitwise,
+                    format!("{label}: aot build failed: {e}"),
+                )
+            })?)
+        } else {
+            None
+        };
+        let mut primal_ref: Option<Bindings> = None;
+        for &t in &cfg.threads {
+            let mut sim = bind.clone();
+            run(vprog, &mut sim, &Machine::with_threads(t)).map_err(|e| {
+                Divergence::new(
+                    OracleId::Pipeline,
+                    format!("{label}: sim run (T={t}) failed: {e}"),
+                )
+            })?;
+            if *label == "primal" && !has_reductions {
+                match &primal_ref {
+                    None => primal_ref = Some(sim.clone()),
+                    Some(r) => {
+                        if let Some(d) = bitwise_diff(r, &sim) {
+                            return Err(Divergence::new(
+                                OracleId::ExecBitwise,
+                                format!("{label}: sim T={ref_threads} vs sim T={t}: {d}"),
+                            ));
+                        }
+                    }
+                }
+            }
+            let mut byt = bind.clone();
+            engines.get(t).run(&bc, &mut byt).map_err(|e| {
+                Divergence::new(
+                    OracleId::Pipeline,
+                    format!("{label}: bytecode run (T={t}) failed: {e}"),
+                )
+            })?;
+            if let Some(d) = bitwise_diff(&sim, &byt) {
+                return Err(Divergence::new(
+                    OracleId::ExecBitwise,
+                    format!("{label}: sim vs bytecode T={t}: {d}"),
+                ));
+            }
+            if let Some(kernel) = &kernel {
+                let mut aot = bind.clone();
+                engines
+                    .get(t)
+                    .run_with(&bc, Some(kernel), &mut aot)
+                    .map_err(|e| {
+                        Divergence::new(
+                            OracleId::Pipeline,
+                            format!("{label}: aot run (T={t}) failed: {e}"),
+                        )
+                    })?;
+                if let Some(d) = bitwise_diff(&sim, &aot) {
+                    return Err(Divergence::new(
+                        OracleId::ExecBitwise,
+                        format!("{label}: sim vs aot T={t}: {d}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 9. Adjoint-vs-FD dot-product test on the FormAD adjoint.
+    let indeps: Vec<(String, Vec<f64>)> = case
+        .wrt
+        .iter()
+        .filter_map(|name| {
+            base.get_real_array(name).map(|arr| {
+                let dir = fill_real(&format!("{name}.dir"), case.fill_seed ^ 0x5eed, arr.len());
+                (name.clone(), dir)
+            })
+        })
+        .collect();
+    let deps: Vec<(String, Vec<f64>)> = case
+        .of
+        .iter()
+        .filter_map(|name| {
+            base.get_real_array(name)
+                .map(|arr| (name.clone(), vec![1.0; arr.len()]))
+        })
+        .collect();
+    let indep_refs: Vec<(&str, Vec<f64>)> = indeps
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    let dep_refs: Vec<(&str, Vec<f64>)> =
+        deps.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let dot = dot_product_test(
+        prog,
+        &diff.adjoint,
+        &base,
+        &indep_refs,
+        &dep_refs,
+        &Machine::with_threads(1),
+        cfg.fd_h,
+        "b",
+    )
+    .map_err(|e| Divergence::new(OracleId::Fd, format!("dot-product run failed: {e}")))?;
+    if !dot.passes(cfg.fd_tol) {
+        return Err(Divergence::new(
+            OracleId::Fd,
+            format!(
+                "dot-product mismatch: fd {} vs adjoint {} (rel {})",
+                dot.fd_value, dot.adjoint_value, dot.rel_error
+            ),
+        ));
+    }
+
+    Ok(summary)
+}

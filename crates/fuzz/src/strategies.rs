@@ -1,0 +1,166 @@
+//! The generator's building blocks exposed as `proptest` strategies.
+//!
+//! `tests/property_based.rs` (and any future property test) can draw
+//! whole well-typed programs, boundary-shaped index expressions,
+//! permutations, and bounded real vectors from the same grammar the
+//! fuzzer uses, instead of hand-rolling its own inputs.
+
+use formad_ir::Program;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+use crate::grammar::{generate_case, FuzzCase, GenConfig};
+
+/// Strategy producing whole generated fuzz cases (program + bindings
+/// recipe). Each draw derives a fresh sub-seed from the runner's RNG,
+/// so `proptest!` seeds reproduce exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzCaseStrategy {
+    cfg: GenConfig,
+}
+
+impl Strategy for FuzzCaseStrategy {
+    type Value = FuzzCase;
+    fn generate(&self, rng: &mut TestRng) -> FuzzCase {
+        let seed = rng.next_u64();
+        let mut sub = TestRng::from_seed(seed);
+        generate_case(0, seed, &self.cfg, &mut sub)
+    }
+}
+
+/// A well-typed generated case under the given shape knobs.
+pub fn fuzz_case(cfg: GenConfig) -> FuzzCaseStrategy {
+    FuzzCaseStrategy { cfg }
+}
+
+/// Just the generated program.
+pub fn program(cfg: GenConfig) -> impl Strategy<Value = Program> {
+    fuzz_case(cfg).prop_map(|c| c.program)
+}
+
+/// Index-expression source strings covering the grammar's read-map
+/// shapes over counter `i` and extent `n` (affine, strided, reversed,
+/// folded, indirect). All of them parse; whether they are in-bounds
+/// depends on the surrounding declaration, which is the caller's
+/// business (round-trip tests don't execute them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexExprStrategy;
+
+impl Strategy for IndexExprStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match rng.below(9) {
+            0 => "i".to_string(),
+            1 => format!("i + {}", 1 + rng.below(3)),
+            2 => "i - 1".to_string(),
+            3 => format!("{} * i", 2 + rng.below(2)),
+            4 => "n + 1 - i".to_string(),
+            5 => format!("mod(i, {}) + 1", 2 + rng.below(3)),
+            6 => "c(i)".to_string(),
+            7 => format!("c(i) + {}", 1 + rng.below(2)),
+            _ => format!("mod(c(i), {}) + 1", 2 + rng.below(3)),
+        }
+    }
+}
+
+/// See [`IndexExprStrategy`].
+pub fn index_expr_src() -> IndexExprStrategy {
+    IndexExprStrategy
+}
+
+/// A uniformly random permutation of `1..=n` (Fisher–Yates over the
+/// runner's RNG), e.g. for race-free indirect index arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct PermutationStrategy {
+    n: usize,
+}
+
+impl Strategy for PermutationStrategy {
+    type Value = Vec<i64>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<i64> {
+        let mut v: Vec<i64> = (1..=self.n as i64).collect();
+        for k in (1..self.n).rev() {
+            let j = rng.below(k as u128 + 1) as usize;
+            v.swap(k, j);
+        }
+        v
+    }
+}
+
+/// See [`PermutationStrategy`].
+pub fn permutation(n: usize) -> PermutationStrategy {
+    PermutationStrategy { n }
+}
+
+/// A vector of `len` reals in `(-1, 1)` — well-conditioned data for
+/// finite-difference checks.
+#[derive(Debug, Clone, Copy)]
+pub struct RealVecStrategy {
+    len: usize,
+}
+
+impl Strategy for RealVecStrategy {
+    type Value = Vec<f64>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<f64> {
+        (0..self.len)
+            .map(|_| {
+                // 53 random mantissa bits, scaled to (-1, 1).
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                2.0 * u - 1.0
+            })
+            .collect()
+    }
+}
+
+/// See [`RealVecStrategy`].
+pub fn real_vec(len: usize) -> RealVecStrategy {
+    RealVecStrategy { len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formad_ir::parse_program;
+
+    #[test]
+    fn index_exprs_parse_inside_a_program() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let e = index_expr_src().generate(&mut rng);
+            let src = format!(
+                "subroutine t(n, v, c)\n  integer, intent(in) :: n\n  \
+                 real, intent(inout) :: v(3 * n + 3)\n  integer, intent(in) :: c(n)\n  \
+                 integer :: i\n  do i = 1, n\n    v({e}) = 1.0\n  end do\nend subroutine\n"
+            );
+            parse_program(&src).unwrap_or_else(|err| panic!("`{e}` failed to parse: {err}"));
+        }
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        let mut rng = TestRng::from_seed(12);
+        for n in [1usize, 2, 7, 12] {
+            let p = permutation(n).generate(&mut rng);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (1..=n as i64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn real_vecs_are_bounded() {
+        let mut rng = TestRng::from_seed(13);
+        let v = real_vec(500).generate(&mut rng);
+        assert_eq!(v.len(), 500);
+        assert!(v.iter().all(|x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn generated_programs_are_strategy_drawable() {
+        let mut rng = TestRng::from_seed(14);
+        for _ in 0..20 {
+            let p = program(GenConfig::default()).generate(&mut rng);
+            assert!(formad_ir::validate(&p).is_empty());
+        }
+    }
+}

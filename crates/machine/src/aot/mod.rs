@@ -419,6 +419,13 @@ pub fn run_aot(
     let lp = lower(prog, bind)?;
     let bc = compile(&lp, prog)?;
     let mut eng = NativeEngine::new(threads);
+    // Only parallel regions are compiled ahead of time; with none there
+    // is nothing to build, so skip the rustc invocation entirely (and
+    // report no fallback — bytecode IS the complete plan here).
+    if bc.regions.is_empty() {
+        eng.run(&bc, bind)?;
+        return Ok(None);
+    }
     match load_or_compile(&lp, &bc) {
         Ok(kernel) => {
             eng.run_with(&bc, Some(&kernel), bind)?;

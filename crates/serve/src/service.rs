@@ -508,6 +508,19 @@ impl Service {
     ) -> Result<Option<String>, String> {
         let lp = lower(primal, bind).map_err(|e| e.to_string())?;
         let bc = compile(&lp, primal).map_err(|e| e.to_string())?;
+        // No parallel regions means nothing to compile ahead of time:
+        // run the complete bytecode plan without touching rustc and
+        // without a degradation note.
+        if bc.regions.is_empty() {
+            let mut engines = self.native.lock().unwrap_or_else(|e| e.into_inner());
+            let engine = engines
+                .entry(threads)
+                .or_insert_with(|| NativeEngine::new(threads));
+            return engine
+                .run(&bc, bind)
+                .map(|_| None)
+                .map_err(|e| e.to_string());
+        }
         let kernel = formad_machine::load_or_compile(&lp, &bc);
         let mut engines = self.native.lock().unwrap_or_else(|e| e.into_inner());
         let engine = engines

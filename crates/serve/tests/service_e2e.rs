@@ -410,3 +410,130 @@ fn post_get(addr: SocketAddr, path: &str) -> (u16, Json) {
     let json = Json::parse(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
     (status, json)
 }
+
+// ---- status counter consistency ----
+
+/// Pull one named counter out of a `/v1/status` snapshot.
+fn counter(j: &Json, block: &str, key: &str) -> u64 {
+    j.get(block)
+        .and_then(|b| b.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing {block}.{key} in {j}"))
+}
+
+/// `[analyze, exec, status, ok_200, client_4xx, rejected_429]`.
+fn counter_snapshot(j: &Json) -> [u64; 6] {
+    [
+        counter(j, "requests", "analyze"),
+        counter(j, "requests", "exec"),
+        counter(j, "requests", "status"),
+        counter(j, "responses", "ok_200"),
+        counter(j, "responses", "client_4xx"),
+        counter(j, "responses", "rejected_429"),
+    ]
+}
+
+/// Under concurrent mixed traffic (valid and malformed analyze/exec
+/// requests racing a status poller), every `/v1/status` counter is
+/// monotone non-decreasing, requests are never outnumbered by finished
+/// responses, and at quiescence the books balance exactly: each request
+/// class matches what the clients sent, and completed responses equal
+/// handled requests minus the snapshot's own in-flight status GET.
+#[test]
+fn status_counters_are_monotone_and_sum_consistently() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let source = "subroutine axpy(n, a, x, y)\n  integer, intent(in) :: n\n  \
+                  real, intent(in) :: a\n  real, intent(in) :: x(n)\n  \
+                  real, intent(inout) :: y(n)\n  integer :: i\n  \
+                  !$omp parallel do shared(x, y)\n  do i = 1, n\n    \
+                  y(i) = y(i) + a * x(i)\n  end do\nend subroutine\n";
+    let handle = start(ServiceConfig::default());
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 4;
+    let analyze_body = prove_body(source, &["x"], &["y"], "");
+    let exec_body = format!(
+        r#"{{"program":{},"backend":"sim","sets":{{"n":8,"a":0.5}}}}"#,
+        Json::Str(source.to_string()).render()
+    );
+
+    let done = AtomicBool::new(false);
+    let mut snapshots: Vec<[u64; 6]> = Vec::new();
+    let mut polls = 0u64;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    // Two well-formed requests and two that must 4xx.
+                    let (s, _) = post(addr, "/v1/analyze", &analyze_body);
+                    assert_eq!(s, 200);
+                    let (s, _) = post(addr, "/v1/exec", &exec_body);
+                    assert!(s == 200 || s == 429, "exec got {s}");
+                    let (s, _) = post(addr, "/v1/analyze", "{");
+                    assert_eq!(s, 400);
+                    let (s, _) = post(addr, "/v1/exec", r#"{"program":7}"#);
+                    assert_eq!(s, 400);
+                }
+            });
+        }
+        // Poll /v1/status concurrently until every client finished.
+        while !done.load(Ordering::Acquire) {
+            let (s, json) = post_get(addr, "/v1/status");
+            assert_eq!(s, 200);
+            snapshots.push(counter_snapshot(&json));
+            polls += 1;
+            // `scope` joins the clients when the closure returns, so flip
+            // `done` once each client has observably sent everything.
+            let analyze_seen = snapshots.last().unwrap()[0];
+            if analyze_seen >= (CLIENTS * ROUNDS * 2) as u64 {
+                done.store(true, Ordering::Release);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    });
+
+    // One more snapshot with the service quiescent.
+    let (s, json) = post_get(addr, "/v1/status");
+    assert_eq!(s, 200);
+    snapshots.push(counter_snapshot(&json));
+    polls += 1;
+
+    // Monotone: no counter ever decreases between successive snapshots.
+    for pair in snapshots.windows(2) {
+        for k in 0..6 {
+            assert!(
+                pair[0][k] <= pair[1][k],
+                "counter {k} went backwards: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+    // In-flight bound: a request bumps its request counter before its
+    // response counter, so finished responses never outnumber requests.
+    for snap in &snapshots {
+        let requests = snap[0] + snap[1] + snap[2];
+        let responses = snap[3] + snap[4] + snap[5];
+        assert!(
+            responses <= requests,
+            "responses {responses} > requests {requests} in {snap:?}"
+        );
+    }
+    // Quiescent books: every client request is accounted for, and the
+    // only request without a finished response is the final status GET
+    // itself (its ok_200 lands after the snapshot renders).
+    let last = snapshots.last().unwrap();
+    assert_eq!(last[0], (CLIENTS * ROUNDS * 2) as u64, "analyze count");
+    assert_eq!(last[1], (CLIENTS * ROUNDS * 2) as u64, "exec count");
+    assert_eq!(last[2], polls, "status count");
+    assert_eq!(last[4], (CLIENTS * ROUNDS * 2) as u64, "4xx count");
+    let requests = last[0] + last[1] + last[2];
+    let responses = last[3] + last[4] + last[5];
+    assert_eq!(
+        responses + 1,
+        requests,
+        "at quiescence only the in-flight status GET is unaccounted: {last:?}"
+    );
+}

@@ -5,9 +5,15 @@
 //! - parser ⇄ printer round-trips on generated programs;
 //! - adjoint correctness (dot-product test) on randomized parallel
 //!   gather/scatter kernels across thread counts.
+//!
+//! Program/index/data inputs are drawn from `formad_fuzz::strategies` —
+//! the same grammar the differential fuzzer uses — rather than
+//! hand-rolled generators.
 
 use formad_ad::{differentiate, AdjointOptions, IncMode, ParallelTreatment};
-use formad_ir::{parse_program, program_to_string};
+use formad_fuzz::strategies::{index_expr_src, permutation, program, real_vec};
+use formad_fuzz::GenConfig;
+use formad_ir::{parse_program, program_to_string, validate};
 use formad_machine::{dot_product_test, Bindings, Machine};
 use formad_smt::{brute, Formula, SatResult, Solver, Term};
 use proptest::prelude::*;
@@ -95,42 +101,42 @@ proptest! {
 // Parser ⇄ printer round-trip on generated programs.
 // ---------------------------------------------------------------------
 
-fn small_expr_src() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        Just("i".to_string()),
-        Just("n".to_string()),
-        (1i64..9).prop_map(|v| v.to_string()),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (
-            inner.clone(),
-            prop_oneof![Just("+"), Just("-"), Just("*")],
-            inner,
-        )
-            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// print(parse(print(parse(src)))) is a fixpoint: parsing the printed
-    /// form yields a structurally identical program.
+    /// print(parse(src)) re-parses to a structurally identical program,
+    /// for every index-expression shape the fuzzer grammar produces
+    /// (affine, strided, reversed, folded, indirect).
     #[test]
-    fn parse_print_roundtrip(e1 in small_expr_src(), e2 in small_expr_src()) {
+    fn parse_print_roundtrip(e1 in index_expr_src(), e2 in index_expr_src()) {
         let src = format!(
-            "subroutine t(n, u, v)\n  integer, intent(in) :: n\n  \
-             real, intent(in) :: v(2 * n + 20)\n  real, intent(inout) :: u(2 * n + 20)\n  \
-             integer :: i\n  !$omp parallel do shared(u, v)\n  do i = 1, n\n    \
+            "subroutine t(n, u, v, c)\n  integer, intent(in) :: n\n  \
+             real, intent(in) :: v(3 * n + 20)\n  real, intent(inout) :: u(3 * n + 20)\n  \
+             integer, intent(in) :: c(n)\n  \
+             integer :: i\n  !$omp parallel do shared(u, v, c)\n  do i = 1, n\n    \
              u(i) = u(i) + v({e1}) * v({e2})\n  end do\nend subroutine\n"
         );
-        let p1 = match parse_program(&src) {
-            Ok(p) => p,
-            Err(_) => return Ok(()), // e.g. generated expr not an index type
-        };
+        let p1 = parse_program(&src).expect("grammar index exprs always parse");
         let printed = program_to_string(&p1);
         let p2 = parse_program(&printed).expect("printed program must re-parse");
         prop_assert_eq!(p1, p2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whole generated programs validate, and their printed form is a
+    /// fixpoint of print ∘ parse. The comparison is on the printed
+    /// string, not the AST: parsing normalizes some spellings (e.g.
+    /// folding a negated literal), and the printed form is the one the
+    /// fuzzer's round-trip oracle locks down.
+    #[test]
+    fn generated_program_print_fixpoint(p in program(GenConfig::default())) {
+        prop_assert!(validate(&p).is_empty());
+        let s1 = program_to_string(&p);
+        let p2 = parse_program(&s1).expect("printed generated program re-parses");
+        prop_assert_eq!(program_to_string(&p2), s1);
     }
 }
 
@@ -142,15 +148,22 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// For a random permutation gather, a random coefficient, and random
-    /// seeds, all adjoint versions agree with finite differences at all
-    /// thread counts.
+    /// data, all adjoint versions agree with finite differences at all
+    /// thread counts. The permutation and the data vectors come from the
+    /// fuzz-crate strategies (vectors are drawn at the maximum extent
+    /// and truncated to the offset-dependent length).
     #[test]
     fn randomized_gather_adjoints(
-        perm_seed in 0u64..1000,
+        c in permutation(12),
         offset in 0i64..5,
         threads in 1usize..9,
+        x0 in real_vec(16),
+        y0 in real_vec(12),
+        xd in real_vec(16),
+        yd in real_vec(12),
     ) {
         let n = 12usize;
+        let xlen = n + offset as usize;
         let src = format!(
             "subroutine g(n, x, y, c)\n  integer, intent(in) :: n\n  \
              real, intent(in) :: x(n + {off})\n  real, intent(inout) :: y(n)\n  \
@@ -161,22 +174,11 @@ proptest! {
         );
         let primal = parse_program(&src).unwrap();
 
-        // Permutation from a tiny LCG.
-        let mut c: Vec<i64> = (1..=n as i64).collect();
-        let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        for k in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (k + 1);
-            c.swap(k, j);
-        }
-        let fvec = |s: u64, len: usize| -> Vec<f64> {
-            (0..len).map(|k| ((k as f64 + s as f64) * 0.37).sin()).collect()
-        };
         let base = Bindings::new()
             .int("n", n as i64)
             .int_array("c", c)
-            .real_array("x", fvec(1, n + offset as usize))
-            .real_array("y", fvec(2, n));
+            .real_array("x", x0[..xlen].to_vec())
+            .real_array("y", y0.clone());
         for tr in [
             ParallelTreatment::Uniform(IncMode::Plain),
             ParallelTreatment::Uniform(IncMode::Atomic),
@@ -187,8 +189,8 @@ proptest! {
                 &primal,
                 &adj,
                 &base,
-                &[("x", fvec(3, n + offset as usize))],
-                &[("y", fvec(4, n))],
+                &[("x", xd[..xlen].to_vec())],
+                &[("y", yd.clone())],
                 &Machine::with_threads(threads),
                 1e-6,
                 "b",
